@@ -1,0 +1,57 @@
+"""Ablation: the paper's S-halving hill climb vs an exact best response.
+
+Section 4.1.2's hill climb is deliberately cheap (exponential back-off,
+5% lambda tolerance, 1% step floor).  This benchmark quantifies what
+that costs: equilibrium efficiency with the hill climb vs a projected-
+gradient exact bidder, and the speed difference.
+"""
+
+import time
+
+from repro.cmp import ChipModel, cmp_8core
+from repro.core import EqualBudget, ExactBidder, HillClimbBidder, PriceTakingBidder
+from repro.workloads import generate_bundles
+from repro.analysis import format_table
+
+
+def _problem():
+    bundle = generate_bundles("CPBN", 8, count=1, seed=9)[0]
+    return ChipModel(cmp_8core(), bundle.apps).build_problem()
+
+
+def test_hill_climb_vs_exact_bidder(benchmark, report):
+    problem = _problem()
+
+    def run_all():
+        out = {}
+        for name, bidder in (
+            ("hill-climb (paper)", HillClimbBidder()),
+            ("exact best response", ExactBidder()),
+            ("price-taking", PriceTakingBidder()),
+        ):
+            t0 = time.perf_counter()
+            result = EqualBudget(bidder=bidder).allocate(problem)
+            out[name] = (result, time.perf_counter() - t0)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    hill, _ = results["hill-climb (paper)"]
+    exact, _ = results["exact best response"]
+    taking, _ = results["price-taking"]
+    # The cheap climb must stay within a few percent of the exact
+    # best-response equilibrium; price-taking lands close too at this
+    # market size (own-price impact shrinks with N).
+    assert hill.efficiency >= 0.95 * exact.efficiency
+    assert taking.efficiency >= 0.90 * exact.efficiency
+
+    report(
+        format_table(
+            ["bidder", "efficiency", "EF", "iterations", "seconds"],
+            [
+                [name, r.efficiency, r.envy_freeness, r.iterations, t]
+                for name, (r, t) in results.items()
+            ],
+            title="Ablation: bidding strategy (8-core CPBN bundle)",
+        )
+    )

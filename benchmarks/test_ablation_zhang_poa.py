@@ -1,0 +1,72 @@
+"""Extension: Zhang's Lemma 2 — equal-budget PoA degrades like 1/sqrt(N).
+
+The motivation for ReBudget: an equal-budget market's worst-case
+efficiency falls as Theta(1/sqrt(N)).  We probe this on adversarial
+synthetic markets built from Zhang's tight construction shape: one
+"whale" with a steep linear utility on a contested resource versus N-1
+players with weak utilities; the whale's value concentrates where the
+proportional market refuses to concentrate allocation.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    AllocationProblem,
+    EqualBudget,
+    MaxEfficiency,
+    market_utility_range,
+    poa_lower_bound,
+    zhang_poa_order,
+)
+from repro.utility import LinearUtility, PowerUtility
+
+
+def _adversarial_problem(n):
+    """One high-value linear player against n-1 sqrt-utility grazers."""
+    utilities = [LinearUtility([float(n), 0.05])]
+    utilities += [PowerUtility([1.0, 1.0], [0.5, 0.5]) for _ in range(n - 1)]
+    return AllocationProblem(
+        utilities=utilities,
+        capacities=np.array([1.0, 1.0]),
+        resource_names=["contested", "side"],
+        player_names=[f"p{i}" for i in range(n)],
+        quanta=np.array([1.0 / 256, 1.0 / 256]),
+    )
+
+
+def test_equal_budget_poa_scaling(benchmark, report):
+    def sweep():
+        rows = []
+        for n in (4, 8, 16, 32, 64):
+            problem = _adversarial_problem(n)
+            eq = EqualBudget().allocate(problem)
+            opt = MaxEfficiency().allocate(problem)
+            realized = eq.efficiency / opt.efficiency
+            rows.append(
+                (
+                    n,
+                    realized,
+                    zhang_poa_order(n),
+                    eq.mur,
+                    poa_lower_bound(eq.mur),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    realized = [r[1] for r in rows]
+    # Efficiency degrades with N on the adversarial family ...
+    assert realized[-1] < realized[0]
+    # ... and every realized ratio respects the Theorem 1 bound.
+    for n, ratio, _, mur, bound in rows:
+        assert ratio >= bound - 0.02, (n, ratio, bound)
+
+    report(
+        format_table(
+            ["N", "realized eff/OPT", "1/sqrt(N)", "MUR", "Theorem-1 bound"],
+            [list(r) for r in rows],
+            title="Zhang Lemma 2 probe: equal-budget efficiency vs market size",
+        )
+    )

@@ -1,0 +1,30 @@
+"""Figure 2: normalized cache utility of *mcf* and *vpr* at max frequency.
+
+The paper's observations we must reproduce: *vpr* is smoothly concave;
+*mcf* is flat (~0.2) until its 1.5 MB working set fits at 12 regions,
+then jumps to 1.0; Talus's convex hull removes the cliff.
+"""
+
+from repro.analysis import fig2_data, format_series
+
+
+def test_fig2_mcf_vpr_utility(benchmark, report):
+    data = benchmark(fig2_data)
+
+    mcf, vpr = data["mcf"], data["vpr"]
+    # Paper anchors (Figure 2).
+    assert mcf["raw"][9] < 0.3          # flat through 10 regions
+    assert mcf["raw"][11] < 0.5         # the cliff is after ~12 regions
+    assert abs(mcf["raw"][15] - 1.0) < 0.01
+    assert all(b >= a - 1e-9 for a, b in zip(vpr["raw"], vpr["raw"][1:]))
+    assert all(h >= r - 1e-9 for h, r in zip(mcf["hull"], mcf["raw"]))
+
+    lines = ["Figure 2: normalized utility vs cache regions (max frequency)"]
+    for name in ("mcf", "vpr"):
+        lines.append(
+            format_series(f"{name} raw ", data[name]["regions"], data[name]["raw"], 16)
+        )
+        lines.append(
+            format_series(f"{name} hull", data[name]["regions"], data[name]["hull"], 16)
+        )
+    report("\n".join(lines))

@@ -1,0 +1,56 @@
+"""Figures 4a/4b: the phase-1 analytic sweep on the 64-core CMP.
+
+For every bundle (paper: 6 categories x 40 = 240; default here: a
+prefix subset per category, REPRO_FULL=1 for the paper scale), every
+mechanism — EqualShare, EqualBudget, XChange-Balanced, ReBudget-20,
+ReBudget-40 and MaxEfficiency — is scored on efficiency (normalized to
+MaxEfficiency) and envy-freeness.  The printed series follow the
+paper's presentation: bundles ordered by EqualShare efficiency.
+
+Headline shapes asserted (Section 6.1/6.2):
+* ReBudget-40 >= ReBudget-20 >= EqualBudget in median efficiency;
+* the envy-freeness order is reversed;
+* MaxEfficiency is by far the least fair;
+* no bundle violates the Theorem 2 guarantee.
+"""
+
+import numpy as np
+
+from conftest import FIG4_BUNDLES
+from repro.analysis import format_series, run_analytic_sweep, summarize_sweep
+
+
+def test_fig4_efficiency_and_fairness_sweep(benchmark, report):
+    sweep = benchmark.pedantic(
+        run_analytic_sweep,
+        kwargs={"bundles_per_category": FIG4_BUNDLES},
+        rounds=1,
+        iterations=1,
+    )
+
+    med = {m: float(np.median(sweep.efficiency_series(m))) for m in sweep.mechanisms}
+    ef_med = {m: sweep.median_envy_freeness(m) for m in sweep.mechanisms}
+
+    # Figure 4a ordering.
+    assert med["ReBudget-40"] >= med["ReBudget-20"] - 1e-6
+    assert med["ReBudget-20"] >= med["EqualBudget"] - 1e-6
+    assert med["EqualBudget"] >= med["EqualShare"] - 1e-6
+    # Figure 4b ordering.
+    assert ef_med["EqualBudget"] >= ef_med["ReBudget-20"] - 1e-6
+    assert ef_med["ReBudget-20"] >= ef_med["ReBudget-40"] - 1e-6
+    assert sweep.worst_envy_freeness("MaxEfficiency") == min(
+        sweep.worst_envy_freeness(m) for m in sweep.mechanisms
+    )
+    # Theorem 2 must hold on every bundle/mechanism.
+    assert sweep.theorem2_violations() == []
+
+    x = np.arange(len(sweep.scores), dtype=float)
+    lines = [summarize_sweep(sweep), ""]
+    lines.append("Figure 4a series (bundles ordered by EqualShare efficiency):")
+    for m in sweep.mechanisms:
+        lines.append(format_series(f"  {m:13s}", x, sweep.efficiency_series(m)))
+    lines.append("")
+    lines.append("Figure 4b series (envy-freeness, same order):")
+    for m in sweep.mechanisms:
+        lines.append(format_series(f"  {m:13s}", x, sweep.envy_freeness_series(m)))
+    report("\n".join(lines))

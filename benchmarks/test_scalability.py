@@ -1,0 +1,62 @@
+"""Scalability: the market's cost as the chip grows.
+
+"Scalable resource allocation" is one of the paper's keywords: because
+each player optimizes locally and the market only aggregates bids, the
+pricing-iteration count should stay flat as cores are added, and the
+per-iteration cost should grow linearly.  This benchmark measures both
+across 8..64 cores.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cmp import ChipModel, CMPConfig, MB, cmp_8core
+from repro.core import EqualBudget
+from repro.workloads import generate_bundle
+
+
+def _config(num_cores: int) -> CMPConfig:
+    base = cmp_8core()
+    return CMPConfig(
+        num_cores=num_cores,
+        power_budget_watts=10.0 * num_cores,
+        l2_capacity_bytes=num_cores * 512 * 1024,
+        l2_associativity=base.l2_associativity,
+        memory_channels=max(2, num_cores // 4),
+    )
+
+
+def test_market_scalability(benchmark, report):
+    def sweep():
+        rows = []
+        for n in (8, 16, 32, 64):
+            rng = np.random.default_rng(11)
+            bundle = generate_bundle("CPBN", n, rng)
+            chip = ChipModel(_config(n), bundle.apps)
+            problem = chip.build_problem()
+            t0 = time.perf_counter()
+            result = EqualBudget().allocate(problem)
+            elapsed = time.perf_counter() - t0
+            rows.append((n, result.iterations, elapsed, elapsed / n))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    iterations = [r[1] for r in rows]
+    per_core = [r[3] for r in rows]
+    # Flat iteration count: the distributed market does not need more
+    # pricing rounds on bigger chips.
+    assert max(iterations) <= 2 * min(iterations) + 2
+    # Near-linear total cost: per-core time stays within a small factor.
+    assert max(per_core) <= 4.0 * min(per_core)
+
+    report(
+        format_table(
+            ["cores", "pricing iterations", "wall time (s)", "time per core (s)"],
+            [list(r) for r in rows],
+            title="Scalability: EqualBudget equilibrium cost vs chip size "
+            "(iterations stay flat; cost grows ~linearly)",
+        )
+    )

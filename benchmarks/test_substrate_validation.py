@@ -1,0 +1,73 @@
+"""Substrate validation: the numbers behind DESIGN.md's substitutions.
+
+UMON estimation error across the suite, Futility-Scaling convergence
+epochs, and the DRAM contention curve.  These are the quantities that
+justify replacing the paper's hardware monitors and SESC cache with our
+models.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.analysis.validation import (
+    dram_contention_study,
+    futility_convergence_study,
+    umon_error_study,
+)
+
+
+def test_umon_estimation_error(benchmark, report):
+    rows = benchmark.pedantic(umon_error_study, rounds=1, iterations=1)
+
+    mean_err = float(np.mean([r.mean_abs_error for r in rows]))
+    worst = max(rows, key=lambda r: r.max_abs_error)
+    # Shadow tags at 1-in-32 sampling track the true curves closely.
+    assert mean_err < 0.03
+    assert worst.max_abs_error < 0.15
+
+    table = [
+        [r.app, r.mean_abs_error, r.max_abs_error, r.sampled_accesses]
+        for r in sorted(rows, key=lambda r: -r.max_abs_error)[:8]
+    ]
+    report(
+        format_table(
+            ["app", "mean |err|", "max |err|", "sampled accesses"],
+            table,
+            title=f"UMON shadow-tag miss-curve error (suite mean |err| = {mean_err:.4f}; "
+            "8 worst applications shown)",
+        )
+    )
+
+
+def test_futility_convergence(benchmark, report):
+    epochs = benchmark.pedantic(futility_convergence_study, rounds=1, iterations=1)
+
+    # Partitions settle within a handful of 1 ms epochs — fast relative
+    # to the paper's re-allocation period.
+    assert float(np.median(epochs)) <= 30
+    assert max(epochs) < 200
+
+    report(
+        format_table(
+            ["median epochs", "p90 epochs", "max epochs"],
+            [[float(np.median(epochs)), float(np.percentile(epochs, 90)), max(epochs)]],
+            title="Futility Scaling: epochs to reach 5% occupancy error "
+            "(20 random target vectors)",
+        )
+    )
+
+
+def test_dram_contention_curve(benchmark, report):
+    rows = benchmark.pedantic(dram_contention_study, rounds=1, iterations=1)
+
+    lats = [lat for _, lat in rows]
+    assert all(a <= b + 1e-9 for a, b in zip(lats, lats[1:]))
+    assert lats[-1] > lats[0] * 2  # saturation hurts
+
+    report(
+        format_table(
+            ["utilization", "latency (ns)"],
+            [[u, lat] for u, lat in rows],
+            title="DDR3-1600 contention model (2 channels)",
+        )
+    )

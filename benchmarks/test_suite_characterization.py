@@ -1,0 +1,53 @@
+"""Section 5's workload table: the 24-application suite, characterized.
+
+Prints the per-application table (class, CPI, APKI, footprint,
+sensitivities, standalone performance, peak power) and asserts the
+suite's structural requirements: 24 applications, six per class, and
+profiling-derived classes matching the construction.
+"""
+
+from collections import Counter
+
+from repro.analysis import characterize_suite, format_table
+
+
+def test_suite_characterization(benchmark, report):
+    rows_data = benchmark.pedantic(characterize_suite, rounds=1, iterations=1)
+
+    counts = Counter(r.cls for r in rows_data)
+    assert len(rows_data) == 24
+    assert counts == {"C": 6, "P": 6, "B": 6, "N": 6}
+
+    rows = [
+        [
+            r.name,
+            r.suite,
+            r.cls,
+            r.cpi_exe,
+            r.apki,
+            r.footprint_mb,
+            r.cache_sensitivity,
+            r.power_sensitivity,
+            r.alone_gips,
+            r.peak_power_w,
+        ]
+        for r in sorted(rows_data, key=lambda r: (r.cls, r.name))
+    ]
+    report(
+        format_table(
+            [
+                "app",
+                "suite",
+                "class",
+                "CPI",
+                "APKI",
+                "footprint MB",
+                "cache sens",
+                "power sens",
+                "alone GIPS",
+                "peak W",
+            ],
+            rows,
+            title="Section 5: the 24-application suite (classes derived by profiling)",
+        )
+    )

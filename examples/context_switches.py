@@ -1,0 +1,69 @@
+"""Context switches: why the market re-runs every millisecond.
+
+Section 4.3 triggers the budget re-assignment every 1 ms "to handle the
+changing resource demands due to context switches and application phase
+changes".  This example schedules a context switch — a cache-hungry
+*mcf* is replaced by a compute-bound *povray* mid-run — and shows the
+market draining cache away from the core and feeding it watts instead,
+epoch by epoch, as the UMON monitors re-learn the new application.
+
+Run:  python examples/context_switches.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cmp import MB, ChipModel, cmp_8core
+from repro.cmp.spec_suite import app_by_name
+from repro.core import EqualBudget
+from repro.sim import ContextSwitch, ExecutionDrivenSimulator, SimulationConfig
+from repro.workloads import paper_bbpc_bundle
+
+
+def main() -> None:
+    bundle = paper_bbpc_bundle()
+    chip = ChipModel(cmp_8core(), bundle.apps)
+    core = 4  # runs mcf initially
+    switch_ms = 6.0
+
+    config = SimulationConfig(
+        duration_ms=14.0,
+        seed=33,
+        context_switches=(ContextSwitch(switch_ms, core, app_by_name("povray")),),
+    )
+    result = ExecutionDrivenSimulator(chip, EqualBudget(), config).run()
+
+    print(
+        f"core {core}: mcf until t={switch_ms:.0f} ms, then povray "
+        "(cache-hungry -> compute-bound)\n"
+    )
+    rows = []
+    for record in result.trace.epochs:
+        rows.append(
+            [
+                record.epoch,
+                "mcf" if record.time_ms < switch_ms else "povray",
+                record.extras[core, 0] / MB,
+                record.extras[core, 1],
+                record.frequencies_ghz[core],
+            ]
+        )
+    print(
+        format_table(
+            ["epoch", "app", "market cache (MB)", "market power (W)", "freq (GHz)"],
+            rows,
+            title=f"Core {core}'s allocation across the switch "
+            "(the market reacts within an epoch or two)",
+        )
+    )
+
+    before = np.mean([r.extras[core, 0] for r in result.trace.epochs if r.time_ms < switch_ms])
+    after = np.mean([r.extras[core, 0] for r in result.trace.epochs if r.time_ms >= switch_ms + 3])
+    print(
+        f"\nmean cache grant: {before / MB:.2f} MB (mcf) -> {after / MB:.2f} MB (povray); "
+        "the freed capacity flows to the remaining cache-sensitive apps."
+    )
+
+
+if __name__ == "__main__":
+    main()

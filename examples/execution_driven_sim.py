@@ -1,0 +1,80 @@
+"""Execution-driven simulation with online monitoring (Section 6.3).
+
+Runs the full phase-2 pipeline on an 8-core BBPN bundle: UMON shadow
+tags estimate miss curves from a sampled synthetic access stream, the
+market re-allocates every 1 ms on the estimated utilities, Futility
+Scaling slews the physical cache partitions, and per-core DVFS rides an
+RC thermal model.  Prints the measured (not modeled) weighted speedup
+and a per-epoch trace excerpt.
+
+Run:  python examples/execution_driven_sim.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.cmp import MB, ChipModel, cmp_8core
+from repro.core import EqualBudget, EqualShare, ReBudgetMechanism
+from repro.sim import ExecutionDrivenSimulator, SimulationConfig
+from repro.workloads import generate_bundles
+
+
+def main() -> None:
+    bundle = generate_bundles("BBPN", 8, count=1, seed=7)[0]
+    chip = ChipModel(cmp_8core(), bundle.apps)
+    sim_config = SimulationConfig(duration_ms=15.0, seed=42)
+
+    print(f"bundle: {bundle.name} -> {', '.join(bundle.app_names())}")
+    print(f"simulating {sim_config.duration_ms:.0f} ms, re-allocating every "
+          f"{sim_config.epoch_ms:.0f} ms on UMON-monitored utilities\n")
+
+    rows = []
+    traces = {}
+    for mechanism in (EqualShare(), EqualBudget(), ReBudgetMechanism(step=40)):
+        result = ExecutionDrivenSimulator(chip, mechanism, sim_config).run()
+        traces[result.mechanism] = result
+        rows.append(
+            [
+                result.mechanism,
+                result.efficiency,
+                result.envy_freeness,
+                result.mean_market_iterations,
+                result.trace.mean_power(),
+                result.trace.peak_temperature(),
+            ]
+        )
+    print(
+        format_table(
+            ["mechanism", "measured eff", "EF", "mean iters", "mean W", "peak C"],
+            rows,
+            title="Measured (execution-driven) results",
+        )
+    )
+
+    # Trace excerpt: how the ReBudget allocation evolves for one core.
+    result = traces["ReBudget-40"]
+    rows = []
+    for record in result.trace.epochs[:8]:
+        rows.append(
+            [
+                record.epoch,
+                record.cache_occupancy[0] / MB,
+                record.frequencies_ghz[0],
+                record.dram_latency_ns,
+                record.market_iterations,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["epoch", f"{bundle.apps[0].name} cache (MB)", "freq (GHz)",
+             "DRAM lat (ns)", "market iters"],
+            rows,
+            title="Trace excerpt (core 0): Futility Scaling converges the "
+            "partition while DRAM contention feeds back",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Quickstart: a market of three players over two resources.
+
+Builds the smallest interesting market, finds its equilibrium with the
+paper's hill-climbing bidders, checks the theoretical bounds (Theorems
+1 and 2), and runs ReBudget to trade fairness for efficiency.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    EqualBudget,
+    Market,
+    MaxEfficiency,
+    Player,
+    ReBudgetConfig,
+    Resource,
+    ResourceSet,
+    ef_lower_bound,
+    envy_freeness,
+    find_equilibrium,
+    market_utility_range,
+    poa_lower_bound,
+    run_rebudget,
+)
+from repro.utility import LogUtility, SaturatingUtility
+
+
+def main() -> None:
+    # Two divisible resources: 10 units of "cache", 5 units of "power".
+    resources = ResourceSet.of(Resource("cache", 10.0), Resource("power", 5.0))
+
+    # Three players with different appetites.  The third saturates
+    # quickly — it cannot use much, so its marginal utility of money
+    # (lambda) will be low and ReBudget will cut its budget.
+    players = [
+        Player("cache-hungry", LogUtility([2.0, 0.3], [1.0, 1.0]), budget=100.0),
+        Player("power-hungry", LogUtility([0.3, 2.0], [1.0, 1.0]), budget=100.0),
+        Player("content", SaturatingUtility([0.2, 0.2], [0.5, 0.5]), budget=100.0),
+    ]
+    market = Market(resources, players)
+
+    # --- Market equilibrium (the iterative bidding-pricing loop) ------
+    eq = find_equilibrium(market)
+    print(f"equilibrium in {eq.iterations} pricing rounds (converged={eq.converged})")
+    print(f"prices:      {np.round(eq.state.prices, 4)}")
+    print(f"allocations:\n{np.round(eq.state.allocations, 3)}")
+    print(f"efficiency:  {eq.efficiency:.3f}")
+
+    mur = market_utility_range(eq.lambdas)
+    ef = envy_freeness([p.utility for p in players], eq.state.allocations)
+    print(f"MUR = {mur:.3f}  ->  PoA >= {poa_lower_bound(mur):.3f}  (Theorem 1)")
+    print(f"MBR = 1.000  ->  EF >= {ef_lower_bound(1.0):.3f}; realized EF = {ef:.3f}")
+
+    # --- ReBudget: cut low-lambda budgets, re-equilibrate --------------
+    rebudget = run_rebudget(market, ReBudgetConfig(step=40.0))
+    print(f"\nReBudget-40 finished after {len(rebudget.rounds)} rounds")
+    print(f"final budgets: {np.round(rebudget.final_budgets, 2)}")
+    print(f"efficiency:    {rebudget.efficiency:.3f} (was {eq.efficiency:.3f})")
+    print(f"MBR = {rebudget.mbr:.3f} -> guaranteed EF >= {rebudget.guaranteed_envy_freeness:.3f}")
+
+    # --- Reference: the welfare-maximizing allocation ------------------
+    problem = _as_problem(market)
+    opt = MaxEfficiency().allocate(problem)
+    print(f"\nMaxEfficiency reference: {opt.efficiency:.3f}")
+    print(f"realized eff/OPT: equal-budget {eq.efficiency / opt.efficiency:.3f}, "
+          f"ReBudget-40 {rebudget.efficiency / opt.efficiency:.3f}")
+
+
+def _as_problem(market):
+    from repro.core import AllocationProblem
+
+    return AllocationProblem(
+        utilities=[p.utility for p in market.players],
+        capacities=market.capacities,
+        resource_names=list(market.resources.names),
+        player_names=[p.name for p in market.players],
+        quanta=market.capacities / 256.0,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""CSV export of experiment results (for external plotting).
+
+The benchmarks print text; anyone wanting to re-plot Figures 4/5 in
+their own tooling can export the raw series here.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import List
+
+__all__ = ["sweep_to_csv", "simulation_to_csv", "write_csv"]
+
+
+def sweep_to_csv(sweep) -> str:
+    """One row per (bundle, mechanism) of a phase-1 sweep, in Figure-4 order."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        [
+            "order",
+            "bundle",
+            "category",
+            "mechanism",
+            "efficiency",
+            "efficiency_vs_opt",
+            "envy_freeness",
+            "iterations",
+            "converged",
+            "mur",
+            "mbr",
+        ]
+    )
+    for order, score in enumerate(sweep.ordered_by_equalshare()):
+        for mechanism, result in score.results.items():
+            writer.writerow(
+                [
+                    order,
+                    score.bundle,
+                    score.category,
+                    mechanism,
+                    f"{result.efficiency:.6f}",
+                    f"{score.efficiency_vs_opt(mechanism):.6f}",
+                    f"{result.envy_freeness:.6f}",
+                    result.iterations,
+                    result.converged,
+                    "" if result.mur is None else f"{result.mur:.6f}",
+                    "" if result.mbr is None else f"{result.mbr:.6f}",
+                ]
+            )
+    return out.getvalue()
+
+
+def simulation_to_csv(scores) -> str:
+    """One row per (bundle, mechanism) of a phase-2 experiment."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(
+        ["bundle", "category", "mechanism", "efficiency", "efficiency_vs_opt",
+         "envy_freeness", "mean_market_iterations"]
+    )
+    for score in scores:
+        for mechanism in score.efficiency:
+            writer.writerow(
+                [
+                    score.bundle,
+                    score.category,
+                    mechanism,
+                    f"{score.efficiency[mechanism]:.6f}",
+                    f"{score.efficiency_vs_opt(mechanism):.6f}",
+                    f"{score.envy_freeness[mechanism]:.6f}",
+                    f"{score.mean_iterations[mechanism]:.3f}",
+                ]
+            )
+    return out.getvalue()
+
+
+def write_csv(text: str, path) -> None:
+    """Write exported CSV text to ``path``."""
+    with open(path, "w", newline="") as handle:
+        handle.write(text)

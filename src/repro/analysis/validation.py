@@ -1,0 +1,120 @@
+"""Substrate validation studies: how good are the models under the market?
+
+Three quantitative checks that the modeling layers the allocation
+mechanism depends on actually behave:
+
+* :func:`umon_error_study` — UMON shadow-tag miss-curve error across the
+  whole application suite (sampling 1 in 32, one epoch of stream);
+* :func:`futility_convergence_study` — epochs Futility Scaling needs to
+  bring partition occupancies within a tolerance of their targets;
+* :func:`dram_contention_study` — miss-latency inflation as aggregate
+  bandwidth approaches the channels' capacity.
+
+These back the substitution arguments in DESIGN.md with numbers and are
+printed by ``benchmarks/test_substrate_validation.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..cmp.config import CMPConfig, cmp_8core
+from ..cmp.core_model import CoreModel
+from ..cmp.dram import DRAMModel
+from ..cmp.futility import FutilityScalingController
+from ..cmp.monitor import RuntimeMonitor
+
+__all__ = [
+    "UMONErrorRow",
+    "umon_error_study",
+    "futility_convergence_study",
+    "dram_contention_study",
+]
+
+
+@dataclass(frozen=True)
+class UMONErrorRow:
+    """Shadow-tag estimation error for one application."""
+
+    app: str
+    mean_abs_error: float
+    max_abs_error: float
+    sampled_accesses: int
+
+
+def umon_error_study(
+    config: Optional[CMPConfig] = None,
+    epochs: int = 4,
+    instructions_per_epoch: float = 2e6,
+    seed: int = 17,
+) -> List[UMONErrorRow]:
+    """Miss-curve estimation error per application, after ``epochs``."""
+    from ..cmp.spec_suite import spec_suite
+
+    config = config or cmp_8core()
+    rows: List[UMONErrorRow] = []
+    for app in spec_suite():
+        core = CoreModel(app, config)
+        monitor = RuntimeMonitor(core, config, rng=np.random.default_rng(seed))
+        for _ in range(epochs):
+            monitor.observe_epoch(instructions_per_epoch)
+        true = np.array(
+            [
+                app.mrc.miss_fraction((k + 1) * config.cache_region_bytes)
+                for k in range(config.umon_max_regions)
+            ]
+        )
+        error = np.abs(monitor.miss_curve - true)
+        rows.append(
+            UMONErrorRow(
+                app=app.name,
+                mean_abs_error=float(error.mean()),
+                max_abs_error=float(error.max()),
+                sampled_accesses=monitor.umon.sampled_accesses,
+            )
+        )
+    return rows
+
+
+def futility_convergence_study(
+    capacity_bytes: float = 4 << 20,
+    num_partitions: int = 8,
+    tolerance: float = 0.05,
+    max_epochs: int = 200,
+    seed: int = 3,
+) -> List[int]:
+    """Epochs to reach ``tolerance`` occupancy error, over random targets.
+
+    Returns one epoch count per trial (20 trials of random target
+    vectors and access rates).
+    """
+    rng = np.random.default_rng(seed)
+    results: List[int] = []
+    for _ in range(20):
+        controller = FutilityScalingController(capacity_bytes, num_partitions)
+        targets = rng.uniform(0.5, 2.0, size=num_partitions)
+        targets *= capacity_bytes / targets.sum()
+        rates = rng.uniform(0.5, 50.0, size=num_partitions)
+        epochs = max_epochs
+        for epoch in range(1, max_epochs + 1):
+            controller.step(targets, rates)
+            if controller.max_error_fraction(targets) < tolerance:
+                epochs = epoch
+                break
+        results.append(epochs)
+    return results
+
+
+def dram_contention_study(channels: int = 2, points: int = 9) -> List[tuple]:
+    """(utilization, latency ns) samples of the contention model."""
+    dram = DRAMModel(channels=channels)
+    peak = dram.peak_bandwidth_gbps()
+    rows = []
+    for utilization in np.linspace(0.0, 1.2, points):
+        rows.append(
+            (float(utilization), dram.latency_ns(utilization * peak))
+        )
+    return rows

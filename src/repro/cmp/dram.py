@@ -1,0 +1,127 @@
+"""DDR3-1600 main-memory latency model (Micron MT41J256M8-style timing).
+
+The paper "faithfully models Micron's DDR3-1600 DRAM timing".  The
+allocation layer only needs the average round-trip latency an L2 miss
+observes, so we model that analytically from the standard timing
+parameters: a row-buffer hit costs CAS latency; a row-buffer miss adds
+precharge and activate; closed-bank access skips the precharge.  A
+simple M/M/c-flavoured queueing term adds channel contention as the
+aggregate miss bandwidth approaches the channels' capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DDR3Timing", "DRAMModel", "ddr3_1600"]
+
+
+@dataclass(frozen=True)
+class DDR3Timing:
+    """JEDEC-style timing parameters, in memory-clock cycles.
+
+    ``clock_mhz`` is the DDR I/O clock (800 MHz for DDR3-1600, i.e.
+    1600 MT/s).  Latency parameters follow the usual meanings: ``cl``
+    (CAS), ``trcd`` (RAS-to-CAS), ``trp`` (precharge), ``trc`` (row
+    cycle), and ``burst_cycles`` the cycles to stream one cache line.
+    """
+
+    clock_mhz: float = 800.0
+    cl: int = 11
+    trcd: int = 11
+    trp: int = 11
+    trc: int = 39
+    burst_cycles: int = 4
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1000.0 / self.clock_mhz
+
+    def row_hit_ns(self) -> float:
+        """Row-buffer hit: CAS latency plus the data burst."""
+        return (self.cl + self.burst_cycles) * self.cycle_ns
+
+    def row_miss_ns(self) -> float:
+        """Row-buffer conflict: precharge + activate + CAS + burst."""
+        return (self.trp + self.trcd + self.cl + self.burst_cycles) * self.cycle_ns
+
+    def row_closed_ns(self) -> float:
+        """Closed-page access: activate + CAS + burst."""
+        return (self.trcd + self.cl + self.burst_cycles) * self.cycle_ns
+
+
+def ddr3_1600() -> DDR3Timing:
+    """The paper's DDR3-1600 device (CL-tRCD-tRP = 11-11-11)."""
+    return DDR3Timing()
+
+
+class DRAMModel:
+    """Average L2-miss latency under a row-buffer-locality mix.
+
+    Parameters
+    ----------
+    timing:
+        Device timing (defaults to DDR3-1600).
+    channels:
+        Number of memory controllers/channels (2 or 16 in Table 1).
+    row_hit_fraction / row_closed_fraction:
+        Access mix; the remainder are row conflicts.
+    controller_overhead_ns:
+        Fixed on-chip path cost (NoC + controller queues at idle).
+    line_bytes:
+        Cache-line transfer size, for bandwidth accounting.
+    """
+
+    def __init__(
+        self,
+        timing: DDR3Timing | None = None,
+        channels: int = 2,
+        row_hit_fraction: float = 0.55,
+        row_closed_fraction: float = 0.15,
+        controller_overhead_ns: float = 18.0,
+        line_bytes: int = 64,
+    ):
+        if channels < 1:
+            raise ValueError("need at least one memory channel")
+        if not 0.0 <= row_hit_fraction + row_closed_fraction <= 1.0:
+            raise ValueError("row hit/closed fractions must sum to <= 1")
+        self.timing = timing or ddr3_1600()
+        self.channels = channels
+        self.row_hit_fraction = row_hit_fraction
+        self.row_closed_fraction = row_closed_fraction
+        self.controller_overhead_ns = controller_overhead_ns
+        self.line_bytes = line_bytes
+
+    def uncontended_latency_ns(self) -> float:
+        """Average device latency with empty queues.
+
+        This is the latency the per-core utility monitors assume, since
+        a single core cannot observe global channel load.
+        """
+        t = self.timing
+        conflict_fraction = 1.0 - self.row_hit_fraction - self.row_closed_fraction
+        device = (
+            self.row_hit_fraction * t.row_hit_ns()
+            + self.row_closed_fraction * t.row_closed_ns()
+            + conflict_fraction * t.row_miss_ns()
+        )
+        return device + self.controller_overhead_ns
+
+    def peak_bandwidth_gbps(self) -> float:
+        """Aggregate channel bandwidth in GB/s (8 bytes per I/O clock edge x2)."""
+        per_channel = self.timing.clock_mhz * 1e6 * 2 * 8 / 1e9
+        return per_channel * self.channels
+
+    def latency_ns(self, miss_bandwidth_gbps: float = 0.0) -> float:
+        """Average miss latency at a given aggregate miss bandwidth.
+
+        Contention follows the standard ``1 / (1 - utilization)``
+        queueing amplification on the device service time, capped at 90%
+        utilization so latency stays finite even for overload inputs.
+        """
+        base = self.uncontended_latency_ns()
+        if miss_bandwidth_gbps <= 0.0:
+            return base
+        utilization = min(miss_bandwidth_gbps / self.peak_bandwidth_gbps(), 0.9)
+        service = base - self.controller_overhead_ns
+        return self.controller_overhead_ns + service / (1.0 - utilization)

@@ -1,0 +1,126 @@
+"""Futility Scaling: fine-grained cache partition enforcement.
+
+Futility Scaling [Wang & Chen, MICRO'14] keeps each partition's actual
+occupancy near its target at cache-line granularity in a
+high-associativity cache.  Each partition has a *scaling factor* that
+inflates or deflates the "futility" (eviction priority) of its lines;
+the controller raises the factor of over-sized partitions (making their
+lines more evictable) and lowers it for under-sized ones.
+
+We reproduce the mechanism as a discrete-time feedback loop over
+allocation epochs.  Steady-state occupancy follows an insertion/eviction
+balance: a partition with access rate ``a_i`` and scaling factor
+``w_i`` settles at occupancy proportional to ``a_i / w_i``.  The
+controller applies a multiplicative update
+
+    w_i <- w_i * (occupancy_i / target_i) ** gain
+
+clamped to a safe range, which provably converges (in this model) to
+occupancies matching the targets, with a per-epoch slew limit standing
+in for the finite eviction bandwidth of real hardware.
+
+The paper uses this mechanism to make cache allocation effectively
+continuous at 128 kB granularity ("cache regions") with ~1.5% storage
+overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FutilityScalingController"]
+
+
+class FutilityScalingController:
+    """Feedback controller driving partition occupancies toward targets.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total cache capacity shared by the partitions.
+    num_partitions:
+        One partition per core.
+    gain:
+        Multiplicative update exponent (0 < gain <= 1); higher converges
+        faster but overshoots more.
+    max_slew_fraction:
+        At most this fraction of the capacity may migrate between
+        partitions per epoch (models finite eviction bandwidth).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: float,
+        num_partitions: int,
+        gain: float = 0.5,
+        max_slew_fraction: float = 0.25,
+    ):
+        if capacity_bytes <= 0 or num_partitions < 1:
+            raise ValueError("capacity must be positive and partitions >= 1")
+        if not 0.0 < gain <= 1.0:
+            raise ValueError("gain must lie in (0, 1]")
+        self.capacity_bytes = float(capacity_bytes)
+        self.num_partitions = num_partitions
+        self.gain = gain
+        self.max_slew_fraction = max_slew_fraction
+        self.scaling_factors = np.ones(num_partitions)
+        self.occupancy_bytes = np.full(
+            num_partitions, self.capacity_bytes / num_partitions
+        )
+
+    def steady_occupancy(self, access_rates: np.ndarray) -> np.ndarray:
+        """Occupancy the insertion/eviction balance would settle at.
+
+        A partition inserting at rate ``a_i`` whose lines carry scaled
+        futility ``w_i`` holds a share proportional to ``a_i / w_i``.
+        """
+        rates = np.maximum(np.asarray(access_rates, dtype=float), 1e-12)
+        weights = rates / self.scaling_factors
+        return self.capacity_bytes * weights / weights.sum()
+
+    def step(self, targets_bytes: np.ndarray, access_rates: np.ndarray) -> np.ndarray:
+        """Run one epoch: update scaling factors, move occupancy.
+
+        Returns the new occupancy vector.  Targets are normalized to the
+        capacity if they do not sum to it (the allocator always hands
+        out everything, but guard anyway).
+        """
+        targets = np.maximum(np.asarray(targets_bytes, dtype=float), 1.0)
+        targets = targets * (self.capacity_bytes / targets.sum())
+
+        # Where the replacement balance would take occupancy this epoch.
+        desired = self.steady_occupancy(access_rates)
+
+        # Finite eviction bandwidth: move at most max_slew of capacity.
+        delta = desired - self.occupancy_bytes
+        slew = self.max_slew_fraction * self.capacity_bytes
+        total_move = np.abs(delta).sum() / 2.0
+        if total_move > slew:
+            delta *= slew / total_move
+        self.occupancy_bytes = self.occupancy_bytes + delta
+        # Renormalize against floating-point drift.
+        self.occupancy_bytes *= self.capacity_bytes / self.occupancy_bytes.sum()
+
+        # Controller: scale futilities toward the targets.
+        ratio = self.occupancy_bytes / targets
+        self.scaling_factors *= np.power(ratio, self.gain)
+        np.clip(self.scaling_factors, 1e-6, 1e6, out=self.scaling_factors)
+        # Normalize the factors (only their ratios matter).
+        self.scaling_factors /= np.exp(np.mean(np.log(self.scaling_factors)))
+
+        return self.occupancy_bytes.copy()
+
+    def max_error_fraction(self, targets_bytes: np.ndarray) -> float:
+        """Largest relative occupancy error versus the targets."""
+        targets = np.maximum(np.asarray(targets_bytes, dtype=float), 1.0)
+        targets = targets * (self.capacity_bytes / targets.sum())
+        return float(np.max(np.abs(self.occupancy_bytes - targets) / targets))
+
+    @property
+    def storage_overhead_fraction(self) -> float:
+        """Per-line futility state cost, ~1.5% of the cache (the paper's figure).
+
+        One byte of (partition id + scaled futility) state per 64-byte
+        line gives 1/64 ~= 1.6%.
+        """
+        return 1.0 / 64.0

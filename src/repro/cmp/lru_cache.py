@@ -1,0 +1,198 @@
+"""A concrete set-associative LRU cache with way/line partitioning.
+
+The analytic layers (miss-rate curves, UMON histograms) model what this
+structure does; this module provides the structure itself, so the model
+can be validated against a real address stream:
+
+* :class:`SetAssociativeCache` — tag store with per-set LRU stacks,
+  optional per-partition occupancy control in the style of Futility
+  Scaling (a partition over its target evicts its own lines first).
+* :class:`AddressStreamGenerator` — synthesizes an address stream whose
+  LRU reuse distances follow an application's miss-rate curve, so the
+  cache's measured miss rate at capacity ``s`` matches ``mrc(s)``.
+
+The validation tests drive generated streams through real caches of
+several sizes and check the measured miss rates against the analytic
+curve — closing the loop between the paper's modeling layer and an
+actual cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .application import MissRateCurve
+
+__all__ = ["CacheStats", "SetAssociativeCache", "AddressStreamGenerator"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, per partition and total."""
+
+    accesses: int = 0
+    hits: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A set-associative cache with true-LRU replacement.
+
+    Parameters
+    ----------
+    capacity_bytes / associativity / line_bytes:
+        Geometry.  ``capacity = sets * associativity * line_bytes``.
+    partition_targets:
+        Optional mapping ``partition_id -> max lines``.  When a set must
+        evict and the inserting partition is at or above its quota, the
+        victim is that partition's own LRU line (occupancy control at
+        line granularity, the role Futility Scaling plays in the paper);
+        otherwise the global LRU line is evicted.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        associativity: int,
+        line_bytes: int = 64,
+        partition_targets: Optional[Dict[int, int]] = None,
+    ):
+        if capacity_bytes % (associativity * line_bytes) != 0:
+            raise ValueError("capacity must be sets * ways * line_bytes")
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = capacity_bytes // (associativity * line_bytes)
+        if self.num_sets < 1:
+            raise ValueError("cache too small for its associativity")
+        # Per set: list of (tag, partition) in LRU order (MRU last).
+        self._sets: List[List[tuple]] = [[] for _ in range(self.num_sets)]
+        self.partition_targets = dict(partition_targets or {})
+        self._partition_lines: Dict[int, int] = {}
+        self.stats = CacheStats()
+        self.partition_stats: Dict[int, CacheStats] = {}
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.num_sets * self.associativity * self.line_bytes
+
+    def partition_occupancy(self, partition: int) -> int:
+        """Lines currently held by ``partition``."""
+        return self._partition_lines.get(partition, 0)
+
+    def access(self, address: int, partition: int = 0) -> bool:
+        """Access one address; returns True on hit."""
+        line = address // self.line_bytes
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        entry = (tag, partition)
+        cache_set = self._sets[index]
+
+        self.stats.accesses += 1
+        pstats = self.partition_stats.setdefault(partition, CacheStats())
+        pstats.accesses += 1
+
+        for k, (t, p) in enumerate(cache_set):
+            if t == tag and p == partition:
+                # Hit: move to MRU.
+                cache_set.append(cache_set.pop(k))
+                self.stats.hits += 1
+                pstats.hits += 1
+                return True
+
+        # Miss: insert.  A partition at its quota evicts its own LRU
+        # line (occupancy control) even when the set has free ways; a
+        # full set otherwise evicts the global LRU line.
+        victim_idx = self._choose_victim(cache_set, partition)
+        if victim_idx is not None:
+            _, victim_partition = cache_set.pop(victim_idx)
+            self._partition_lines[victim_partition] -= 1
+        cache_set.append(entry)
+        self._partition_lines[partition] = self._partition_lines.get(partition, 0) + 1
+        return False
+
+    def _choose_victim(self, cache_set: List[tuple], inserting: int):
+        """Index to evict, or None when no eviction is needed."""
+        target = self.partition_targets.get(inserting)
+        if target is not None and self.partition_occupancy(inserting) >= target:
+            # Occupancy control: evict the inserting partition's own LRU
+            # line so it cannot exceed its quota.
+            for k, (_, p) in enumerate(cache_set):
+                if p == inserting:
+                    return k
+        if len(cache_set) >= self.associativity:
+            return 0  # global LRU
+        return None
+
+    def run(self, addresses: np.ndarray, partition: int = 0) -> CacheStats:
+        """Drive a whole address stream; returns this stream's stats."""
+        before_acc = self.stats.accesses
+        before_hit = self.stats.hits
+        for address in addresses:
+            self.access(int(address), partition)
+        return CacheStats(
+            accesses=self.stats.accesses - before_acc,
+            hits=self.stats.hits - before_hit,
+        )
+
+
+class AddressStreamGenerator:
+    """Synthesizes addresses whose reuse behaviour matches an MRC.
+
+    Strategy: draw a target stack distance ``d`` from the application's
+    reuse-distance distribution and emit the address touched ``d`` bytes
+    of *distinct* lines ago, maintained in an LRU list.  Compulsory
+    (infinite-distance) draws emit a never-seen address.  Driving the
+    stream through a fully associative LRU cache of size ``s`` then
+    misses with probability ``mrc(s)`` by construction; set-associative
+    caches add conflict noise, which is part of what the validation
+    measures.
+    """
+
+    def __init__(self, mrc: MissRateCurve, line_bytes: int = 64, max_bytes: float = 8 << 20):
+        self.mrc = mrc
+        self.line_bytes = line_bytes
+        self._table = mrc.survival_table(max_bytes=max_bytes)
+        self._lru: List[int] = []  # line numbers, MRU last
+        self._next_line = 0
+        # History beyond the largest modellable reuse distance can never
+        # be referenced again; trim to bound memory and list-ops cost.
+        self._max_history = 2 * int(max_bytes // line_bytes)
+
+    def generate(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        distances = self.mrc.sample_stack_distances(rng, count, table=self._table)
+        out = np.empty(count, dtype=np.int64)
+        for k, distance in enumerate(distances):
+            line = self._line_for_distance(distance)
+            out[k] = line * self.line_bytes
+        return out
+
+    def _line_for_distance(self, distance_bytes: float) -> int:
+        if len(self._lru) > self._max_history:
+            del self._lru[: len(self._lru) - self._max_history]
+        if not np.isfinite(distance_bytes):
+            line = self._next_line
+            self._next_line += 1
+            self._lru.append(line)
+            return line
+        depth = int(distance_bytes // self.line_bytes)
+        if depth >= len(self._lru):
+            # Not enough history yet: treat as compulsory.
+            line = self._next_line
+            self._next_line += 1
+            self._lru.append(line)
+            return line
+        # Reuse the line `depth` distinct lines back from MRU.
+        line = self._lru[-(depth + 1)]
+        self._lru.remove(line)
+        self._lru.append(line)
+        return line

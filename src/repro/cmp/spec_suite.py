@@ -1,0 +1,159 @@
+"""The 24-application SPEC 2000/2006-like suite (Section 5).
+
+Each entry is a parametric :class:`~repro.cmp.application.AppProfile`
+whose miss-rate curve, compute CPI, memory intensity and power activity
+are chosen to land the application in its intended sensitivity class:
+
+* **C** — cache-sensitive: large in-range working sets, memory-bound
+  until the working set fits (*mcf*'s 1.5 MB cliff is modeled directly
+  from Figure 2).
+* **P** — power(frequency)-sensitive: compute-bound, tiny L2 footprint.
+* **B** — both-sensitive: moderate working sets and a balanced
+  compute/memory mix.
+* **N** — insensitive: streaming behaviour whose misses no realistic
+  partition removes and whose memory-boundedness blunts frequency.
+
+The class labels here are *design intents*; the experiment pipeline
+re-derives classes by profiling (``repro.workloads.classification``),
+exactly as the paper classifies by profiling, and the tests assert the
+two agree.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .application import AppProfile, CliffMRC, FlatMRC, MixtureMRC, Phase, PowerLawMRC
+from .config import KB, MB
+
+__all__ = ["SPEC_SUITE", "INTENDED_CLASS", "spec_suite", "app_by_name", "apps_in_class"]
+
+
+def _cliff(ceiling, floor, ws_kb, sharpness=14.0):
+    return CliffMRC(ceiling_value=ceiling, floor_value=floor, ws_bytes=ws_kb * KB, sharpness=sharpness)
+
+
+def _plaw(ceiling, floor, s_half_kb, gamma=1.0):
+    return PowerLawMRC(ceiling_value=ceiling, floor_value=floor, s_half_bytes=s_half_kb * KB, gamma=gamma)
+
+
+def _phases(*specs) -> tuple:
+    return tuple(Phase(duration_ms=d, apki_scale=a, cpi_scale=c, activity_scale=w) for d, a, c, w in specs)
+
+
+# name -> (class, profile).  APKI is L2 accesses per kilo-instruction.
+_SUITE_SPEC: Dict[str, tuple] = {
+    # ---- Cache-sensitive (C): deep MRC drops inside 128 kB..2 MB ----
+    "mcf": ("C", AppProfile(
+        name="mcf", suite="spec2000", cpi_exe=0.90, apki=35.0,
+        mrc=_cliff(0.95, 0.03, ws_kb=1536, sharpness=18.0), activity=0.70,
+        phases=_phases((4.0, 1.0, 1.0, 1.0), (2.0, 1.2, 0.9, 1.0)))),
+    "vpr": ("C", AppProfile(
+        name="vpr", suite="spec2000", cpi_exe=0.52, apki=24.0,
+        mrc=_plaw(0.85, 0.05, s_half_kb=384, gamma=1.3), activity=0.75,
+        phases=_phases((3.0, 1.0, 1.0, 1.0), (3.0, 0.8, 1.1, 0.95)))),
+    "art": ("C", AppProfile(
+        name="art", suite="spec2000", cpi_exe=0.80, apki=30.0,
+        mrc=_cliff(0.90, 0.05, ws_kb=896, sharpness=10.0), activity=0.70)),
+    "twolf": ("C", AppProfile(
+        name="twolf", suite="spec2000", cpi_exe=0.50, apki=22.0,
+        mrc=_plaw(0.90, 0.06, s_half_kb=256, gamma=1.5), activity=0.72)),
+    "soplex": ("C", AppProfile(
+        name="soplex", suite="spec2006", cpi_exe=0.85, apki=26.0,
+        mrc=MixtureMRC(
+            components=(_cliff(0.9, 0.1, ws_kb=640, sharpness=9.0),
+                        _plaw(0.9, 0.05, s_half_kb=512)),
+            weights=(0.6, 0.4)), activity=0.72)),
+    "omnetpp": ("C", AppProfile(
+        name="omnetpp", suite="spec2006", cpi_exe=0.58, apki=26.0,
+        mrc=_plaw(0.88, 0.08, s_half_kb=448, gamma=1.2), activity=0.74)),
+
+    # ---- Power-sensitive (P): compute-bound, tiny footprints ----
+    "sixtrack": ("P", AppProfile(
+        name="sixtrack", suite="spec2000", cpi_exe=0.45, apki=0.8,
+        mrc=_plaw(0.30, 0.05, s_half_kb=48), activity=1.00)),
+    "hmmer": ("P", AppProfile(
+        name="hmmer", suite="spec2006", cpi_exe=0.50, apki=1.2,
+        mrc=_plaw(0.25, 0.04, s_half_kb=64), activity=0.98,
+        phases=_phases((5.0, 1.0, 1.0, 1.0), (1.0, 1.5, 1.05, 0.9)))),
+    "povray": ("P", AppProfile(
+        name="povray", suite="spec2006", cpi_exe=0.55, apki=0.6,
+        mrc=FlatMRC(0.10), activity=1.05)),
+    "namd": ("P", AppProfile(
+        name="namd", suite="spec2006", cpi_exe=0.48, apki=0.9,
+        mrc=_plaw(0.20, 0.05, s_half_kb=96), activity=1.02)),
+    "gromacs": ("P", AppProfile(
+        name="gromacs", suite="spec2006", cpi_exe=0.52, apki=1.0,
+        mrc=_plaw(0.22, 0.06, s_half_kb=80), activity=0.97)),
+    "calculix": ("P", AppProfile(
+        name="calculix", suite="spec2006", cpi_exe=0.47, apki=0.7,
+        mrc=FlatMRC(0.08), activity=1.00)),
+
+    # ---- Both-sensitive (B): moderate working sets, balanced mix ----
+    "swim": ("B", AppProfile(
+        name="swim", suite="spec2000", cpi_exe=0.60, apki=14.0,
+        mrc=_plaw(0.78, 0.07, s_half_kb=176, gamma=1.5), activity=0.90,
+        phases=_phases((4.0, 1.0, 1.0, 1.0), (4.0, 1.1, 0.95, 1.0)))),
+    "apsi": ("B", AppProfile(
+        name="apsi", suite="spec2000", cpi_exe=0.80, apki=10.0,
+        mrc=_cliff(0.72, 0.08, ws_kb=512, sharpness=7.0), activity=0.92)),
+    "equake": ("B", AppProfile(
+        name="equake", suite="spec2000", cpi_exe=0.66, apki=14.0,
+        mrc=_plaw(0.72, 0.12, s_half_kb=320, gamma=1.0), activity=0.88)),
+    "ammp": ("B", AppProfile(
+        name="ammp", suite="spec2000", cpi_exe=0.56, apki=10.0,
+        mrc=_cliff(0.60, 0.12, ws_kb=384, sharpness=6.0), activity=0.93)),
+    "milc": ("B", AppProfile(
+        name="milc", suite="spec2006", cpi_exe=0.70, apki=15.0,
+        mrc=_plaw(0.72, 0.15, s_half_kb=448, gamma=1.0), activity=0.87)),
+    "astar": ("B", AppProfile(
+        name="astar", suite="spec2006", cpi_exe=0.68, apki=12.0,
+        mrc=MixtureMRC(
+            components=(_plaw(0.72, 0.12, s_half_kb=288),
+                        _cliff(0.72, 0.12, ws_kb=1024, sharpness=8.0)),
+            weights=(0.75, 0.25)), activity=0.90)),
+
+    # ---- Insensitive (N): streaming, memory-bound everywhere ----
+    "libquantum": ("N", AppProfile(
+        name="libquantum", suite="spec2006", cpi_exe=0.42, apki=26.0,
+        mrc=FlatMRC(0.80), activity=0.50)),
+    "lbm": ("N", AppProfile(
+        name="lbm", suite="spec2006", cpi_exe=0.40, apki=28.0,
+        mrc=FlatMRC(0.85), activity=0.48)),
+    "gcc": ("N", AppProfile(
+        name="gcc", suite="spec2000", cpi_exe=0.44, apki=24.0,
+        mrc=_plaw(0.80, 0.72, s_half_kb=512), activity=0.52)),
+    "bzip2": ("N", AppProfile(
+        name="bzip2", suite="spec2000", cpi_exe=0.41, apki=25.0,
+        mrc=_plaw(0.78, 0.70, s_half_kb=640), activity=0.50)),
+    "sphinx3": ("N", AppProfile(
+        name="sphinx3", suite="spec2006", cpi_exe=0.43, apki=27.0,
+        mrc=FlatMRC(0.75), activity=0.49)),
+    "lucas": ("N", AppProfile(
+        name="lucas", suite="spec2000", cpi_exe=0.39, apki=29.0,
+        mrc=FlatMRC(0.82), activity=0.47)),
+}
+
+#: The full application list, in a stable order.
+SPEC_SUITE: List[AppProfile] = [profile for _, profile in _SUITE_SPEC.values()]
+
+#: Design-intent class of every application.
+INTENDED_CLASS: Dict[str, str] = {name: cls for name, (cls, _) in _SUITE_SPEC.items()}
+
+
+def spec_suite() -> List[AppProfile]:
+    """A fresh list of the 24 application profiles."""
+    return list(SPEC_SUITE)
+
+
+def app_by_name(name: str) -> AppProfile:
+    """Look an application up by its SPEC name."""
+    try:
+        return _SUITE_SPEC[name][1]
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}; have {sorted(_SUITE_SPEC)}") from None
+
+
+def apps_in_class(cls: str) -> List[AppProfile]:
+    """All applications whose *intended* class is ``cls`` (C/P/B/N)."""
+    return [profile for name, (c, profile) in _SUITE_SPEC.items() if c == cls]

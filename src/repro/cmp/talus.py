@@ -1,0 +1,118 @@
+"""Talus: convexifying cache utility with shadow partitions.
+
+Talus [Beckmann & Sanchez, HPCA'15] removes performance cliffs from
+cache partitions.  Given an application's sampled utility (or miss)
+curve, it derives the curve's upper convex hull; the hull's vertices are
+the *points of interest* (PoIs).  To realize a target partition size
+``t`` between two PoIs ``s1 < t < s2``, Talus splits the partition into
+two shadow partitions and steers a fraction ``rho = (s2 - t)/(s2 - s1)``
+of the access stream into the first:
+
+* shadow partition A: size ``rho * s1``, receiving fraction ``rho`` of
+  accesses — it behaves exactly like a cache of size ``s1`` for its
+  share of the stream;
+* shadow partition B: size ``(1 - rho) * s2`` with the remaining
+  fraction — behaving like size ``s2``.
+
+Total size is ``rho*s1 + (1-rho)*s2 = t`` and the combined miss rate is
+the *linear interpolation* ``rho*m(s1) + (1-rho)*m(s2)`` — precisely the
+hull.  The cache utility the market sees therefore becomes continuous,
+non-decreasing and concave, as required by the theory in Section 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..utility.convex_hull import PiecewiseLinearConcave
+
+__all__ = ["ShadowPartitionPlan", "TalusController"]
+
+
+@dataclass(frozen=True)
+class ShadowPartitionPlan:
+    """How to realize one target partition size with two shadow partitions."""
+
+    target_bytes: float
+    size_a_bytes: float
+    size_b_bytes: float
+    stream_fraction_a: float
+    poi_low_bytes: float
+    poi_high_bytes: float
+    expected_value: float  # the hull's utility (or miss) value at target
+
+    @property
+    def stream_fraction_b(self) -> float:
+        return 1.0 - self.stream_fraction_a
+
+
+class TalusController:
+    """Plans shadow partitions from a sampled curve's convex hull.
+
+    Parameters
+    ----------
+    sizes_bytes / values:
+        The sampled curve.  For *utility* curves (non-decreasing) the
+        upper hull is taken directly.  The controller is agnostic to
+        whether values are utilities or hit rates, as long as larger is
+        better; pass ``1 - miss_rate`` for miss curves.
+    """
+
+    def __init__(self, sizes_bytes: Sequence[float], values: Sequence[float]):
+        self.hull = PiecewiseLinearConcave(sizes_bytes, values)
+
+    @property
+    def points_of_interest(self):
+        """Hull vertices: the only sizes Talus ever physically configures."""
+        return self.hull.points_of_interest
+
+    def value_at(self, target_bytes: float) -> float:
+        """Convexified curve value at any (continuous) target size."""
+        return self.hull.value(target_bytes)
+
+    def plan(self, target_bytes: float) -> ShadowPartitionPlan:
+        """Shadow-partition configuration realizing ``target_bytes``.
+
+        Targets at or beyond the hull's range degenerate to a single
+        partition (fraction A = 1 at the nearest PoI).
+        """
+        (s1, _v1), (s2, _v2) = self.hull.bracketing_pois(target_bytes)
+        if s2 <= s1:
+            # Degenerate: the target coincides with a PoI (or is outside
+            # the sampled range); one partition carries the whole stream.
+            return ShadowPartitionPlan(
+                target_bytes=target_bytes,
+                size_a_bytes=s1,
+                size_b_bytes=0.0,
+                stream_fraction_a=1.0,
+                poi_low_bytes=s1,
+                poi_high_bytes=s2,
+                expected_value=self.hull.value(target_bytes),
+            )
+        rho = (s2 - target_bytes) / (s2 - s1)
+        rho = float(min(max(rho, 0.0), 1.0))
+        return ShadowPartitionPlan(
+            target_bytes=target_bytes,
+            size_a_bytes=rho * s1,
+            size_b_bytes=(1.0 - rho) * s2,
+            stream_fraction_a=rho,
+            poi_low_bytes=s1,
+            poi_high_bytes=s2,
+            expected_value=self.hull.value(target_bytes),
+        )
+
+    def realized_value(self, plan: ShadowPartitionPlan, raw_curve) -> float:
+        """Value the plan actually achieves given the raw (cliffy) curve.
+
+        ``raw_curve`` maps size (bytes) to the un-convexified value.  By
+        Talus's construction this equals the hull at the plan's target —
+        the property the tests verify.
+        """
+        v1 = raw_curve(plan.poi_low_bytes)
+        if plan.stream_fraction_a >= 1.0:
+            return v1
+        v2 = raw_curve(plan.poi_high_bytes)
+        return plan.stream_fraction_a * v1 + plan.stream_fraction_b * v2

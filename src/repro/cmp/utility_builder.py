@@ -1,0 +1,197 @@
+"""Building market utilities from the multicore performance models.
+
+The market operates on *extra* resources beyond each core's free
+minimum (one 128 kB cache region, and the power to run at 800 MHz).
+This module turns a :class:`~repro.cmp.core_model.CoreModel` — or a
+runtime-monitored estimate of one — into a concave, continuous
+2-resource utility over ``(extra cache bytes, extra power watts)``:
+
+1. sample normalized performance on a (cache x power) grid;
+2. convexify along the cache axis (Talus) and, if the sampled power
+   response ever dips from concavity, along the power axis as well;
+3. wrap the result in bilinear interpolation.
+
+The convexification passes are iterated until the grid is concave along
+both axes, mirroring the paper's "derive the convex hull of cache and
+power" step in Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..utility.convex_hull import upper_convex_hull
+from ..utility.tabular import GridUtility2D
+from .config import CMPConfig
+from .core_model import CoreModel
+
+__all__ = [
+    "sample_utility_grid",
+    "convexify_grid",
+    "build_true_utility",
+    "build_utility_from_miss_curve",
+    "extra_capacity_for",
+]
+
+#: Grid resolution along the power axis (cache is sampled per region).
+POWER_GRID_POINTS = 17
+
+
+def extra_capacity_for(core: CoreModel, config: CMPConfig) -> tuple:
+    """Per-core caps on purchasable extras: cache bytes and power watts.
+
+    Cache beyond 2 MB total (UMON's limit, footnote 3) and power beyond
+    the 4 GHz draw yield no utility, so these are the natural caps.
+    """
+    cache_cap = float(config.umon_max_bytes - config.cache_region_bytes)
+    power_cap = core.max_power_watts() - core.min_power_watts()
+    return cache_cap, power_cap
+
+
+def sample_utility_grid(
+    value_at: Callable[[float, float], float],
+    cache_cap_bytes: float,
+    power_cap_watts: float,
+    region_bytes: int,
+    power_points: int = POWER_GRID_POINTS,
+) -> tuple:
+    """Sample ``value_at(extra_cache, extra_power)`` on the standard grid.
+
+    Cache is sampled at whole-region boundaries from 0 to the cap;
+    power uniformly from 0 to the cap.
+    """
+    num_regions = int(round(cache_cap_bytes / region_bytes))
+    cache_axis = np.arange(num_regions + 1, dtype=float) * region_bytes
+    power_axis = np.linspace(0.0, power_cap_watts, power_points)
+    values = np.empty((cache_axis.size, power_axis.size))
+    for i, c in enumerate(cache_axis):
+        for j, p in enumerate(power_axis):
+            values[i, j] = value_at(c, p)
+    return cache_axis, power_axis, values
+
+
+def convexify_grid(
+    cache_axis: np.ndarray,
+    power_axis: np.ndarray,
+    values: np.ndarray,
+    max_passes: int = 6,
+) -> np.ndarray:
+    """Hull the grid along both axes until concave along each.
+
+    Each pass replaces every cache column (power fixed) and every power
+    row (cache fixed) with its upper convex hull evaluated back on the
+    grid.  Hulling can only raise values, and values are bounded by the
+    global maximum, so the iteration converges; in practice two passes
+    suffice.
+    """
+    out = values.copy()
+    for _ in range(max_passes):
+        before = out.copy()
+        for j in range(power_axis.size):
+            hx, hy = upper_convex_hull(cache_axis, out[:, j])
+            out[:, j] = np.interp(cache_axis, hx, hy)
+        for i in range(cache_axis.size):
+            hx, hy = upper_convex_hull(power_axis, out[i, :])
+            out[i, :] = np.interp(power_axis, hx, hy)
+        if np.allclose(before, out, rtol=0.0, atol=1e-12):
+            break
+    return out
+
+
+def build_true_utility(
+    core: CoreModel,
+    config: CMPConfig,
+    convexify: bool = True,
+    power_points: int = POWER_GRID_POINTS,
+) -> GridUtility2D:
+    """The "perfectly modeled" utility of phase-1 (Section 6).
+
+    Evaluates the analytic core model exactly and (by default) applies
+    the Talus-style convexification, producing the concave continuous
+    utility over extras that the theory requires.
+
+    The grid is evaluated in vectorized form: frequencies are resolved
+    once per power-axis point and the compute/memory decomposition is
+    separable, so the (cache x power) surface is an outer combination of
+    two 1-D arrays.
+    """
+    cache_cap, power_cap = extra_capacity_for(core, config)
+    min_cache = float(config.cache_region_bytes)
+    min_power = core.min_power_watts()
+    region = config.cache_region_bytes
+
+    num_regions = int(round(cache_cap / region))
+    cache_axis = np.arange(num_regions + 1, dtype=float) * region
+    power_axis = np.linspace(0.0, power_cap, power_points)
+
+    frequencies = np.array(
+        [core.frequency_for_power(min_power + p) for p in power_axis]
+    )
+    monitor_cap = float(config.umon_max_bytes)
+    memory_ns = np.array(
+        [
+            core.app.misses_per_instruction(min(min_cache + c, monitor_cap))
+            * core.memory_latency_ns
+            for c in cache_axis
+        ]
+    )
+    compute_ns = core.app.cpi_exe / frequencies
+    # perf[i, j] = 1 / (compute(f_j) + memory(s_i)); utility normalizes.
+    values = 1.0 / (compute_ns[None, :] + memory_ns[:, None])
+    values /= core.alone_performance_gips
+
+    if convexify:
+        values = convexify_grid(cache_axis, power_axis, values)
+    return GridUtility2D(cache_axis, power_axis, values)
+
+
+def build_utility_from_miss_curve(
+    core: CoreModel,
+    config: CMPConfig,
+    miss_curve: np.ndarray,
+    cpi_estimate: Optional[float] = None,
+    convexify: bool = True,
+    power_points: int = POWER_GRID_POINTS,
+) -> GridUtility2D:
+    """Phase-2 utility from a *monitored* miss curve (UMON output).
+
+    ``miss_curve[k]`` is the estimated miss fraction with ``k+1``
+    regions.  The compute-phase CPI may also be an estimate; the power
+    model and DRAM latency are shared with the true model (the paper
+    estimates them with Isci-style counters, whose error is small
+    relative to MRC sampling noise).
+    """
+    cache_cap, power_cap = extra_capacity_for(core, config)
+    min_power = core.min_power_watts()
+    cpi = core.app.cpi_exe if cpi_estimate is None else cpi_estimate
+    apki = core.app.apki
+    latency = core.memory_latency_ns
+    region = config.cache_region_bytes
+    max_regions = miss_curve.size
+
+    num_regions = int(round(cache_cap / region))
+    cache_axis = np.arange(num_regions + 1, dtype=float) * region
+    power_axis = np.linspace(0.0, power_cap, power_points)
+
+    region_indices = np.clip((region + cache_axis) / region, 1.0, float(max_regions))
+    miss = np.interp(region_indices, np.arange(1, max_regions + 1), miss_curve)
+    memory_ns = apki / 1000.0 * miss * latency
+    frequencies = np.array(
+        [core.frequency_for_power(min_power + p) for p in power_axis]
+    )
+    compute_ns = cpi / frequencies
+    values = 1.0 / (compute_ns[None, :] + memory_ns[:, None])
+
+    # Normalize by the *estimated* standalone performance (the paper's
+    # monitors never see the true one).
+    alone = 1.0 / (
+        cpi / config.core.max_frequency_ghz
+        + apki / 1000.0 * miss_curve[-1] * latency
+    )
+    values /= alone
+
+    if convexify:
+        values = convexify_grid(cache_axis, power_axis, values)
+    return GridUtility2D(cache_axis, power_axis, values)

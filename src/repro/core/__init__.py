@@ -1,0 +1,88 @@
+"""The paper's core: proportional-share market, equilibrium search,
+MUR/MBR metrics, theoretical bounds, and the ReBudget reassignment loop."""
+
+from .bidding import BiddingStrategy, ExactBidder, HillClimbBidder, PriceTakingBidder
+from .equilibrium import EquilibriumResult, find_equilibrium
+from .market import Market, MarketState
+from .mechanisms import (
+    AllocationMechanism,
+    AllocationProblem,
+    BalancedBudget,
+    ElasticitiesProportional,
+    EqualBudget,
+    EqualShare,
+    MaxEfficiency,
+    MechanismResult,
+    ReBudgetMechanism,
+    standard_mechanism_suite,
+)
+from .metrics import (
+    efficiency,
+    envy_freeness,
+    envy_matrix,
+    market_budget_range,
+    market_utility_range,
+    price_of_anarchy,
+)
+from .optimum import GreedyOptimum, max_efficiency_allocation
+from .player import Player, bid_to_allocation, marginal_utility_of_bids
+from .rebudget import ReBudgetConfig, ReBudgetResult, ReBudgetRound, run_rebudget
+from .resources import Resource, ResourceSet
+from .theory import (
+    check_theorem1,
+    check_theorem2,
+    ef_lower_bound,
+    fig1_ef_series,
+    fig1_poa_series,
+    min_mbr_for_envy_freeness,
+    poa_lower_bound,
+    zhang_equal_budget_ef_bound,
+    zhang_poa_order,
+)
+
+__all__ = [
+    "Resource",
+    "ResourceSet",
+    "Player",
+    "bid_to_allocation",
+    "marginal_utility_of_bids",
+    "Market",
+    "MarketState",
+    "BiddingStrategy",
+    "HillClimbBidder",
+    "ExactBidder",
+    "PriceTakingBidder",
+    "EquilibriumResult",
+    "find_equilibrium",
+    "efficiency",
+    "envy_freeness",
+    "envy_matrix",
+    "price_of_anarchy",
+    "market_utility_range",
+    "market_budget_range",
+    "poa_lower_bound",
+    "ef_lower_bound",
+    "min_mbr_for_envy_freeness",
+    "zhang_equal_budget_ef_bound",
+    "zhang_poa_order",
+    "fig1_poa_series",
+    "fig1_ef_series",
+    "check_theorem1",
+    "check_theorem2",
+    "ReBudgetConfig",
+    "ReBudgetResult",
+    "ReBudgetRound",
+    "run_rebudget",
+    "GreedyOptimum",
+    "max_efficiency_allocation",
+    "AllocationProblem",
+    "MechanismResult",
+    "AllocationMechanism",
+    "EqualShare",
+    "EqualBudget",
+    "BalancedBudget",
+    "ReBudgetMechanism",
+    "MaxEfficiency",
+    "ElasticitiesProportional",
+    "standard_mechanism_suite",
+]

@@ -1,0 +1,264 @@
+"""Player bidding strategies.
+
+Given the prices announced by the market, every player independently
+finds the bid vector that maximizes its own utility subject to its
+budget (optimization problem 3 in the paper).  Two strategies are
+provided:
+
+* :class:`HillClimbBidder` — the paper's Section 4.1.2 procedure: start
+  from an equal split, repeatedly move an exponentially shrinking amount
+  ``S`` of money from the resource with the lowest marginal utility to
+  the one with the highest, stopping when marginals agree within 5% or
+  ``S`` drops below 1% of the budget.
+* :class:`ExactBidder` — a numerically exact best response found by
+  projected gradient ascent with backtracking; used as an ablation
+  reference for how much the cheap hill climb loses.
+
+Both return bid vectors that (a) are non-negative and (b) spend the full
+budget whenever any resource still has positive marginal utility.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..utility.base import UtilityFunction
+from .player import bid_to_allocation, marginal_utility_of_bids
+
+__all__ = ["BiddingStrategy", "HillClimbBidder", "ExactBidder", "PriceTakingBidder"]
+
+
+class BiddingStrategy(abc.ABC):
+    """Finds a player's (approximately) optimal bids given others' bids."""
+
+    @abc.abstractmethod
+    def optimize(
+        self,
+        utility: UtilityFunction,
+        budget: float,
+        others: np.ndarray,
+        capacities: np.ndarray,
+        current_bids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Return the player's new bid vector (length M, sums to budget)."""
+
+    @staticmethod
+    def player_lambda(
+        utility: UtilityFunction,
+        bids: np.ndarray,
+        others: np.ndarray,
+        capacities: np.ndarray,
+    ) -> float:
+        """The player-specific multiplier ``lambda_i`` at a bid vector.
+
+        At an optimum, all resources with non-zero bids share the same
+        marginal utility (Equation 4); we report the maximum marginal
+        over resources with non-zero bids, which equals that shared
+        value at an optimum and degrades gracefully away from one.
+        """
+        marginals = marginal_utility_of_bids(utility, bids, others, capacities)
+        active = bids > 1e-12
+        if not np.any(active):
+            return float(marginals.max(initial=0.0))
+        return float(marginals[active].max())
+
+
+class HillClimbBidder(BiddingStrategy):
+    """The exponential back-off hill climb of Section 4.1.2.
+
+    Parameters
+    ----------
+    lambda_tolerance:
+        Stop when max and min marginal utilities agree within this
+        relative tolerance (paper: 5%).
+    step_stop_fraction:
+        Stop when the shift amount ``S`` falls below this fraction of the
+        player's budget (paper: 1%).
+    """
+
+    def __init__(self, lambda_tolerance: float = 0.05, step_stop_fraction: float = 0.01):
+        self.lambda_tolerance = lambda_tolerance
+        self.step_stop_fraction = step_stop_fraction
+
+    def optimize(
+        self,
+        utility: UtilityFunction,
+        budget: float,
+        others: np.ndarray,
+        capacities: np.ndarray,
+        current_bids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        num_resources = capacities.size
+        if budget <= 0.0:
+            return np.zeros(num_resources)
+        if num_resources == 1:
+            return np.array([budget])
+
+        # Step 1: equal split; S is half of one bid.
+        bids = np.full(num_resources, budget / num_resources)
+        step = budget / (2.0 * num_resources)
+        min_step = self.step_stop_fraction * budget
+
+        while step >= min_step:
+            marginals = marginal_utility_of_bids(utility, bids, others, capacities)
+            # Donor: lowest marginal among resources we actually bid on.
+            # Recipient: highest marginal overall.
+            active = bids > 1e-12
+            donor_candidates = np.where(active)[0]
+            if donor_candidates.size == 0:
+                break
+            donor = donor_candidates[np.argmin(marginals[donor_candidates])]
+            recipient = int(np.argmax(marginals))
+            hi, lo = marginals[recipient], marginals[donor]
+            if recipient == donor or hi <= 0.0:
+                break
+            # Stop condition (a): marginals already agree within tolerance.
+            if hi - lo <= self.lambda_tolerance * hi:
+                break
+            moved = min(step, bids[donor])
+            bids[donor] -= moved
+            bids[recipient] += moved
+            # Step 3: exponential back-off.
+            step *= 0.5
+
+        return bids
+
+
+class ExactBidder(BiddingStrategy):
+    """Projected gradient ascent on the budget simplex.
+
+    Maximizes ``U(r(b))`` over ``{b >= 0, sum b = budget}``.  The
+    objective is concave whenever ``U`` is concave and non-decreasing
+    (each ``r_j(b_j)`` is concave), so gradient ascent with a simplex
+    projection converges to the true best response.  Slower but sharper
+    than :class:`HillClimbBidder`; used in the bidding ablation.
+    """
+
+    def __init__(self, max_iterations: int = 200, tolerance: float = 1e-9):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def optimize(
+        self,
+        utility: UtilityFunction,
+        budget: float,
+        others: np.ndarray,
+        capacities: np.ndarray,
+        current_bids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        num_resources = capacities.size
+        if budget <= 0.0:
+            return np.zeros(num_resources)
+        if num_resources == 1:
+            return np.array([budget])
+
+        if current_bids is not None and current_bids.sum() > 0:
+            bids = current_bids * (budget / current_bids.sum())
+        else:
+            bids = np.full(num_resources, budget / num_resources)
+
+        def objective(b: np.ndarray) -> float:
+            return utility.value(bid_to_allocation(b, others, capacities))
+
+        value = objective(bids)
+        step = budget / 4.0
+        for _ in range(self.max_iterations):
+            grad = marginal_utility_of_bids(utility, bids, others, capacities)
+            # Cap the synthetic "infinite" first-bid marginals so the
+            # ascent direction stays finite.
+            grad = np.minimum(grad, 1e6)
+            scale = float(np.abs(grad).max())
+            if scale <= 0.0:
+                break
+            candidate = _project_to_simplex(bids + (step / scale) * grad, budget)
+            candidate_value = objective(candidate)
+            if candidate_value > value + 1e-15:
+                moved = float(np.max(np.abs(candidate - bids)))
+                bids, value = candidate, candidate_value
+                step = min(step * 1.5, budget)  # expand while improving
+                if moved < self.tolerance * budget:
+                    break
+            else:
+                step *= 0.5
+                if step < self.tolerance * budget:
+                    break
+        return bids
+
+
+class PriceTakingBidder(BiddingStrategy):
+    """A naive bidder that treats broadcast prices as fixed.
+
+    The paper's bidders are *price-anticipating* (Equation 2: a player
+    predicts how its own bid moves its allocation through the shared
+    price).  The classic alternative from the literature the paper
+    builds on (Feldman et al.; Kelly-style proportional fairness) is
+    *price-taking*: assume ``r_j = b_j / p_j`` with ``p_j`` fixed at the
+    last broadcast value.  Price takers over-bid on contested resources
+    (they ignore that their own money inflates the price), which is the
+    behaviour the bidding ablation quantifies.
+    """
+
+    def __init__(self, lambda_tolerance: float = 0.05, step_stop_fraction: float = 0.01):
+        self.lambda_tolerance = lambda_tolerance
+        self.step_stop_fraction = step_stop_fraction
+
+    def optimize(
+        self,
+        utility: UtilityFunction,
+        budget: float,
+        others: np.ndarray,
+        capacities: np.ndarray,
+        current_bids: np.ndarray | None = None,
+    ) -> np.ndarray:
+        num_resources = capacities.size
+        if budget <= 0.0:
+            return np.zeros(num_resources)
+        if num_resources == 1:
+            return np.array([budget])
+
+        # Fixed prices from the last broadcast (Equation 1 with the
+        # player's previous bids included).
+        previous = (
+            current_bids
+            if current_bids is not None
+            else np.full(num_resources, budget / num_resources)
+        )
+        prices = (others + previous) / capacities
+        prices = np.maximum(prices, 1e-12)
+
+        bids = np.full(num_resources, budget / num_resources)
+        step = budget / (2.0 * num_resources)
+        min_step = self.step_stop_fraction * budget
+        while step >= min_step:
+            allocation = np.minimum(bids / prices, capacities)
+            du_dr = np.asarray(utility.gradient(allocation), dtype=float)
+            marginals = np.where(allocation < capacities, du_dr / prices, 0.0)
+            active = bids > 1e-12
+            donors = np.where(active)[0]
+            if donors.size == 0:
+                break
+            donor = donors[np.argmin(marginals[donors])]
+            recipient = int(np.argmax(marginals))
+            hi, lo = marginals[recipient], marginals[donor]
+            if recipient == donor or hi <= 0.0 or hi - lo <= self.lambda_tolerance * hi:
+                break
+            moved = min(step, bids[donor])
+            bids[donor] -= moved
+            bids[recipient] += moved
+            step *= 0.5
+        return bids
+
+
+def _project_to_simplex(vector: np.ndarray, total: float) -> np.ndarray:
+    """Euclidean projection of ``vector`` onto ``{x >= 0, sum x = total}``."""
+    if total <= 0.0:
+        return np.zeros_like(vector)
+    sorted_desc = np.sort(vector)[::-1]
+    cumulative = np.cumsum(sorted_desc) - total
+    ranks = np.arange(1, vector.size + 1)
+    feasible = sorted_desc - cumulative / ranks > 0
+    rho = int(np.nonzero(feasible)[0][-1])
+    theta = cumulative[rho] / (rho + 1.0)
+    return np.maximum(vector - theta, 0.0)

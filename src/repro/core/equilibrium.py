@@ -1,0 +1,180 @@
+"""Iterative bidding–pricing equilibrium search (Section 2.1).
+
+The market repeatedly (1) broadcasts prices and (2) lets every player
+best-respond assuming the others' bids stay fixed.  Convergence is
+detected globally by monitoring prices: the market is declared converged
+when every resource price fluctuates within 1% between rounds (the
+paper's criterion).  A fail-safe terminates the search after 30 rounds,
+as in Section 6.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .bidding import BiddingStrategy, HillClimbBidder
+from .market import Market, MarketState
+from .player import marginal_utility_of_bids
+
+__all__ = ["EquilibriumResult", "find_equilibrium"]
+
+#: Paper's global price-convergence tolerance (Section 2.1).
+PRICE_TOLERANCE = 0.01
+
+#: Paper's fail-safe iteration cap (Section 6.4).
+MAX_ITERATIONS = 30
+
+
+@dataclass
+class EquilibriumResult:
+    """Outcome of an equilibrium search.
+
+    Attributes
+    ----------
+    state:
+        Final market snapshot (bids, prices, allocations).
+    utilities:
+        Player utilities at the final allocation.
+    lambdas:
+        Player-specific marginal utilities of money ``lambda_i`` — the
+        quantity ReBudget compares across players.
+    iterations:
+        Number of bidding–pricing rounds executed.
+    converged:
+        Whether the price-stability criterion was met (False means the
+        30-round fail-safe fired).
+    price_history:
+        Price vector after every round, for convergence studies.
+    """
+
+    state: MarketState
+    utilities: np.ndarray
+    lambdas: np.ndarray
+    iterations: int
+    converged: bool
+    price_history: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def efficiency(self) -> float:
+        """System efficiency: the sum of player utilities (Definition 1)."""
+        return float(self.utilities.sum())
+
+
+def find_equilibrium(
+    market: Market,
+    bidder: Optional[BiddingStrategy] = None,
+    initial_bids: Optional[np.ndarray] = None,
+    max_iterations: int = MAX_ITERATIONS,
+    price_tolerance: float = PRICE_TOLERANCE,
+    update: str = "jacobi",
+) -> EquilibriumResult:
+    """Run the bidding–pricing loop to (approximate) market equilibrium.
+
+    Parameters
+    ----------
+    market:
+        The proportional-share market to clear.
+    bidder:
+        Bidding strategy shared by all players; defaults to the paper's
+        hill climb.
+    initial_bids:
+        Warm-start bid matrix; defaults to every player splitting its
+        budget equally (the paper's initialization).
+    update:
+        ``"jacobi"`` — all players re-bid against the same broadcast
+        prices (the paper's distributed semantics); ``"gauss-seidel"`` —
+        players re-bid sequentially, each seeing the bids of players
+        before it in the round.  Jacobi is the default and the one used
+        in all experiments.
+    """
+    if bidder is None:
+        bidder = HillClimbBidder()
+    if update not in ("jacobi", "gauss-seidel"):
+        raise ValueError(f"unknown update mode {update!r}")
+
+    capacities = market.capacities
+    bids = market.equal_split_bids() if initial_bids is None else np.array(initial_bids, dtype=float)
+    prices = market.prices(bids)
+    price_history: List[np.ndarray] = [prices.copy()]
+
+    converged = False
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        totals = bids.sum(axis=0)
+        previous_bids = bids
+        if update == "jacobi":
+            new_bids = np.empty_like(bids)
+            for i, player in enumerate(market.players):
+                others = totals - bids[i]
+                new_bids[i] = bidder.optimize(
+                    player.utility, player.budget, others, capacities, current_bids=bids[i]
+                )
+            bids = new_bids
+        else:
+            for i, player in enumerate(market.players):
+                others = bids.sum(axis=0) - bids[i]
+                bids[i] = bidder.optimize(
+                    player.utility, player.budget, others, capacities, current_bids=bids[i]
+                )
+
+        new_prices = market.prices(bids)
+        # Simultaneous (Jacobi) best responses can settle into a
+        # period-2 price oscillation: everyone overshoots together,
+        # then over-corrects.  When the new prices match the prices of
+        # two rounds ago but not the last round's, average this round's
+        # bids with the previous round's (a convex combination of two
+        # budget-feasible bid matrices is budget-feasible), which
+        # collapses the cycle onto its midpoint.
+        oscillating = (
+            len(price_history) >= 2
+            and _prices_stable(price_history[-2], new_prices, price_tolerance)
+            and not _prices_stable(prices, new_prices, price_tolerance)
+        )
+        # Drifting cycles can evade the period-2 detector; once the
+        # loop has clearly failed to settle on its own, damp every
+        # round (averaging is a no-op at a fixed point).
+        slow = iterations > 8 and not _prices_stable(prices, new_prices, price_tolerance)
+        if update == "jacobi" and (oscillating or slow):
+            bids = 0.5 * (previous_bids + bids)
+            new_prices = market.prices(bids)
+        price_history.append(new_prices.copy())
+        if _prices_stable(prices, new_prices, price_tolerance):
+            prices = new_prices
+            converged = True
+            break
+        prices = new_prices
+
+    state = market.allocate(bids)
+    utilities = market.utilities(state.allocations)
+    lambdas = np.array(
+        [
+            BiddingStrategy.player_lambda(
+                player.utility,
+                bids[i],
+                bids.sum(axis=0) - bids[i],
+                capacities,
+            )
+            for i, player in enumerate(market.players)
+        ]
+    )
+    return EquilibriumResult(
+        state=state,
+        utilities=utilities,
+        lambdas=lambdas,
+        iterations=iterations,
+        converged=converged,
+        price_history=price_history,
+    )
+
+
+def _prices_stable(old: np.ndarray, new: np.ndarray, tolerance: float) -> bool:
+    """True when every price moved by less than ``tolerance`` relatively.
+
+    Resources nobody bids on (price 0 in both rounds) count as stable.
+    """
+    reference = np.maximum(np.abs(old), np.abs(new))
+    stable = np.abs(new - old) <= tolerance * np.where(reference > 0.0, reference, 1.0)
+    return bool(np.all(stable))

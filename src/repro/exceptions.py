@@ -1,0 +1,17 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "MarketConfigurationError", "ConvergenceError"]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class MarketConfigurationError(ReproError):
+    """A market, player, or mechanism was configured inconsistently."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to converge and no fail-safe was allowed."""

@@ -1,0 +1,23 @@
+"""Execution-driven epoch simulation: program phases, online monitoring,
+1 ms market re-allocation, Futility-Scaling partition dynamics, DVFS with
+thermal feedback, and DRAM contention (the paper's SESC substitute)."""
+
+from .engine import (
+    ContextSwitch,
+    ExecutionDrivenSimulator,
+    SimulationConfig,
+    SimulationResult,
+)
+from .phases import PhaseState, PhaseTracker
+from .trace import EpochRecord, SimulationTrace
+
+__all__ = [
+    "ContextSwitch",
+    "ExecutionDrivenSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    "PhaseState",
+    "PhaseTracker",
+    "EpochRecord",
+    "SimulationTrace",
+]

@@ -1,0 +1,59 @@
+"""Simulation traces: per-epoch records and end-of-run summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+__all__ = ["EpochRecord", "SimulationTrace"]
+
+
+@dataclass
+class EpochRecord:
+    """Everything measured in one allocation epoch."""
+
+    epoch: int
+    time_ms: float
+    extras: np.ndarray            # (N, 2) market allocation targets
+    cache_occupancy: np.ndarray   # (N,) actual bytes after Futility Scaling
+    frequencies_ghz: np.ndarray   # (N,)
+    instructions: np.ndarray      # (N,) retired this epoch (giga-instr)
+    powers_w: np.ndarray          # (N,)
+    temperatures_c: np.ndarray    # (N,)
+    dram_latency_ns: float
+    market_iterations: int
+    market_converged: bool
+
+
+@dataclass
+class SimulationTrace:
+    """Accumulated epoch records plus derived aggregates."""
+
+    epochs: List[EpochRecord] = field(default_factory=list)
+
+    def append(self, record: EpochRecord) -> None:
+        self.epochs.append(record)
+
+    @property
+    def num_epochs(self) -> int:
+        return len(self.epochs)
+
+    def total_instructions(self) -> np.ndarray:
+        """Per-core instructions retired over the whole run."""
+        return np.sum([e.instructions for e in self.epochs], axis=0)
+
+    def mean_power(self) -> float:
+        """Chip-level average power across epochs."""
+        return float(np.mean([e.powers_w.sum() for e in self.epochs]))
+
+    def peak_temperature(self) -> float:
+        return float(np.max([e.temperatures_c.max() for e in self.epochs]))
+
+    def mean_allocation(self) -> np.ndarray:
+        """Time-averaged extras allocation (N, 2)."""
+        return np.mean([e.extras for e in self.epochs], axis=0)
+
+    def market_iterations(self) -> List[int]:
+        return [e.market_iterations for e in self.epochs]

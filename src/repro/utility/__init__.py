@@ -1,0 +1,40 @@
+"""Utility-function framework: interfaces, parametric families, tabulated
+curves, and upper-convex-hull (Talus-style) convexification."""
+
+from .base import (
+    UtilityFunction,
+    is_concave_on_grid,
+    is_nondecreasing_on_grid,
+    numeric_gradient,
+)
+from .convex_hull import PiecewiseLinearConcave, hull_interpolate, upper_convex_hull
+from .functions import (
+    AdditiveUtility,
+    CobbDouglasUtility,
+    LinearUtility,
+    LogUtility,
+    PowerUtility,
+    SaturatingUtility,
+    ScaledUtility,
+)
+from .tabular import GridUtility2D, HullUtility1D, TabularUtility1D
+
+__all__ = [
+    "UtilityFunction",
+    "numeric_gradient",
+    "is_concave_on_grid",
+    "is_nondecreasing_on_grid",
+    "upper_convex_hull",
+    "hull_interpolate",
+    "PiecewiseLinearConcave",
+    "LinearUtility",
+    "LogUtility",
+    "PowerUtility",
+    "CobbDouglasUtility",
+    "SaturatingUtility",
+    "AdditiveUtility",
+    "ScaledUtility",
+    "TabularUtility1D",
+    "HullUtility1D",
+    "GridUtility2D",
+]

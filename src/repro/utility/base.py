@@ -1,0 +1,145 @@
+"""Utility-function framework.
+
+The market framework of Section 2 of the paper assumes each player has a
+utility function ``U_i(r_i)`` over a vector of resource allocations that is
+concave, non-decreasing, and continuous.  This module defines the abstract
+interface every utility implementation in this package satisfies, plus
+generic numeric helpers (gradients, concavity probes) shared by the
+parametric and tabulated implementations.
+
+A :class:`UtilityFunction` maps an allocation vector ``r`` (one entry per
+resource, in resource units such as bytes of cache or watts of power) to a
+scalar utility.  In the multicore instantiation utilities are normalized
+IPC, so values lie in ``[0, 1]``, but the core market code never relies on
+that range.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "UtilityFunction",
+    "numeric_gradient",
+    "is_concave_on_grid",
+    "is_nondecreasing_on_grid",
+]
+
+#: Default relative step used by the numeric differentiator.
+_GRADIENT_EPS = 1e-6
+
+
+class UtilityFunction(abc.ABC):
+    """A concave, non-decreasing, continuous utility over M resources.
+
+    Subclasses must implement :meth:`value`; :meth:`gradient` has a numeric
+    default that subclasses with analytic derivatives should override.
+    """
+
+    #: Number of resources this utility is defined over.
+    num_resources: int = 1
+
+    @abc.abstractmethod
+    def value(self, allocation: Sequence[float]) -> float:
+        """Return the utility of ``allocation`` (length ``num_resources``)."""
+
+    def gradient(self, allocation: Sequence[float]) -> np.ndarray:
+        """Return the marginal utility of each resource at ``allocation``.
+
+        The default implementation is a central finite difference that
+        falls back to one-sided differences at the domain boundary (we
+        never evaluate at negative allocations).
+        """
+        return numeric_gradient(self.value, allocation)
+
+    def marginal(self, allocation: Sequence[float], resource: int) -> float:
+        """Marginal utility of a single ``resource`` at ``allocation``."""
+        return float(self.gradient(allocation)[resource])
+
+    def __call__(self, allocation: Sequence[float]) -> float:
+        return self.value(allocation)
+
+
+def numeric_gradient(func, allocation: Sequence[float], eps: float = _GRADIENT_EPS) -> np.ndarray:
+    """Central-difference gradient of ``func`` at ``allocation``.
+
+    Steps are scaled to the magnitude of each coordinate so that the
+    differentiator behaves sensibly for resources measured in bytes
+    (~1e6) and in watts (~1e0) alike.  Coordinates are clamped at zero:
+    if a backward step would go negative we use a forward difference.
+    """
+    point = np.asarray(allocation, dtype=float)
+    grad = np.empty_like(point)
+    for j in range(point.size):
+        step = eps * max(1.0, abs(point[j]))
+        lo = point.copy()
+        hi = point.copy()
+        if point[j] - step >= 0.0:
+            lo[j] -= step
+            hi[j] += step
+            grad[j] = (func(hi) - func(lo)) / (2.0 * step)
+        else:
+            hi[j] += step
+            grad[j] = (func(hi) - func(point)) / step
+    return grad
+
+
+def is_nondecreasing_on_grid(func, grids: Sequence[np.ndarray], tol: float = 1e-9) -> bool:
+    """Check that ``func`` is non-decreasing along each axis of a grid.
+
+    ``grids`` holds one sorted 1-D sample array per resource.  Every grid
+    point is evaluated; the check passes if increasing any single
+    coordinate never decreases utility by more than ``tol``.
+    """
+    values = _tabulate(func, grids)
+    for axis in range(values.ndim):
+        diffs = np.diff(values, axis=axis)
+        if np.any(diffs < -tol):
+            return False
+    return True
+
+
+def is_concave_on_grid(func, grids: Sequence[np.ndarray], tol: float = 1e-9) -> bool:
+    """Check midpoint concavity of ``func`` on the cartesian grid.
+
+    For every pair of grid points ``a, b`` whose midpoint is evaluable we
+    require ``f((a+b)/2) >= (f(a)+f(b))/2 - tol``.  For 1-D grids this
+    reduces to the standard second-difference test, which we use directly
+    because it is much cheaper.
+    """
+    if len(grids) == 1:
+        xs = np.asarray(grids[0], dtype=float)
+        ys = np.array([func((x,)) for x in xs])
+        # Slopes between consecutive samples must be non-increasing.
+        slopes = np.diff(ys) / np.diff(xs)
+        return bool(np.all(np.diff(slopes) <= tol))
+
+    points = _grid_points(grids)
+    values = np.array([func(p) for p in points])
+    rng = np.random.default_rng(0)
+    n = len(points)
+    # Exhaustive pairing is quadratic; sample pairs for large grids.
+    max_pairs = 2000
+    if n * (n - 1) // 2 <= max_pairs:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    else:
+        pairs = [tuple(sorted(rng.choice(n, size=2, replace=False))) for _ in range(max_pairs)]
+    for i, j in pairs:
+        mid = (points[i] + points[j]) / 2.0
+        if func(mid) < (values[i] + values[j]) / 2.0 - tol:
+            return False
+    return True
+
+
+def _grid_points(grids: Sequence[np.ndarray]) -> np.ndarray:
+    mesh = np.meshgrid(*[np.asarray(g, dtype=float) for g in grids], indexing="ij")
+    return np.stack([m.ravel() for m in mesh], axis=-1)
+
+
+def _tabulate(func, grids: Sequence[np.ndarray]) -> np.ndarray:
+    points = _grid_points(grids)
+    shape = tuple(len(g) for g in grids)
+    return np.array([func(p) for p in points]).reshape(shape)

@@ -1,0 +1,137 @@
+"""Tabulated utility functions built from sampled profiles.
+
+The multicore substrate produces utilities as samples on a grid (IPC at
+each cache-size x frequency point, Section 6's 90-point profile).  The
+classes here wrap such samples into :class:`~repro.utility.base.UtilityFunction`
+objects the market can consume:
+
+* :class:`TabularUtility1D` — raw linear interpolation of a 1-D curve
+  (possibly non-concave; what the cache looks like *before* Talus).
+* :class:`HullUtility1D` — the Talus-convexified version.
+* :class:`GridUtility2D` — bilinear interpolation over a 2-D sample grid,
+  used for joint cache x power utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .base import UtilityFunction
+from .convex_hull import PiecewiseLinearConcave
+
+__all__ = ["TabularUtility1D", "HullUtility1D", "GridUtility2D"]
+
+
+class TabularUtility1D(UtilityFunction):
+    """Linear interpolation through ``(xs, ys)`` samples, clamped outside.
+
+    Makes no concavity promise — it faithfully represents cliffy cache
+    curves.  Use :class:`HullUtility1D` when the market needs concavity.
+    """
+
+    num_resources = 1
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float]):
+        self.xs = np.asarray(xs, dtype=float)
+        self.ys = np.asarray(ys, dtype=float)
+        if self.xs.ndim != 1 or self.xs.size != self.ys.size or self.xs.size == 0:
+            raise ValueError("xs and ys must be non-empty 1-D arrays of equal length")
+        if np.any(np.diff(self.xs) <= 0):
+            raise ValueError("xs must be strictly increasing")
+
+    def value(self, allocation: Sequence[float]) -> float:
+        x = float(allocation[0])
+        return float(np.interp(x, self.xs, self.ys))
+
+    def gradient(self, allocation: Sequence[float]) -> np.ndarray:
+        x = float(allocation[0])
+        if x >= self.xs[-1] or self.xs.size == 1:
+            return np.array([0.0])
+        if x < self.xs[0]:
+            return np.array([0.0])
+        seg = int(np.searchsorted(self.xs, x, side="right") - 1)
+        seg = min(seg, self.xs.size - 2)
+        slope = (self.ys[seg + 1] - self.ys[seg]) / (self.xs[seg + 1] - self.xs[seg])
+        return np.array([slope])
+
+    def __repr__(self) -> str:
+        return f"TabularUtility1D({self.xs.size} samples on [{self.xs[0]}, {self.xs[-1]}])"
+
+
+class HullUtility1D(UtilityFunction):
+    """The upper convex hull of a sampled curve — concave and continuous.
+
+    This is the utility the market sees after Talus: linear between
+    points of interest, saturating past the last one.
+    """
+
+    num_resources = 1
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float]):
+        self.hull = PiecewiseLinearConcave(xs, ys)
+
+    def value(self, allocation: Sequence[float]) -> float:
+        return self.hull.value(float(allocation[0]))
+
+    def gradient(self, allocation: Sequence[float]) -> np.ndarray:
+        return np.array([self.hull.derivative(float(allocation[0]))])
+
+    @property
+    def points_of_interest(self):
+        return self.hull.points_of_interest
+
+    def __repr__(self) -> str:
+        xs, _ = self.hull.points_of_interest
+        return f"HullUtility1D({xs.size} PoIs on [{xs[0]}, {xs[-1]}])"
+
+
+class GridUtility2D(UtilityFunction):
+    """Bilinear interpolation of samples on a 2-D grid.
+
+    ``values[i, j]`` is the utility at ``(xs[i], ys[j])``.  Evaluation is
+    clamped to the grid's bounding box, so the function saturates (stays
+    constant) outside the sampled range — matching the paper's assumption
+    that more than 16 cache regions yields no additional utility.
+    """
+
+    num_resources = 2
+
+    def __init__(self, xs: Sequence[float], ys: Sequence[float], values: np.ndarray):
+        self.xs = np.asarray(xs, dtype=float)
+        self.ys = np.asarray(ys, dtype=float)
+        self.values = np.asarray(values, dtype=float)
+        if self.values.shape != (self.xs.size, self.ys.size):
+            raise ValueError("values must have shape (len(xs), len(ys))")
+        if np.any(np.diff(self.xs) <= 0) or np.any(np.diff(self.ys) <= 0):
+            raise ValueError("grid axes must be strictly increasing")
+
+    def value(self, allocation: Sequence[float]) -> float:
+        x = float(np.clip(allocation[0], self.xs[0], self.xs[-1]))
+        y = float(np.clip(allocation[1], self.ys[0], self.ys[-1]))
+        i = int(np.clip(np.searchsorted(self.xs, x, side="right") - 1, 0, self.xs.size - 2)) \
+            if self.xs.size > 1 else 0
+        j = int(np.clip(np.searchsorted(self.ys, y, side="right") - 1, 0, self.ys.size - 2)) \
+            if self.ys.size > 1 else 0
+        if self.xs.size == 1 and self.ys.size == 1:
+            return float(self.values[0, 0])
+        if self.xs.size == 1:
+            return float(np.interp(y, self.ys, self.values[0, :]))
+        if self.ys.size == 1:
+            return float(np.interp(x, self.xs, self.values[:, 0]))
+        x0, x1 = self.xs[i], self.xs[i + 1]
+        y0, y1 = self.ys[j], self.ys[j + 1]
+        tx = (x - x0) / (x1 - x0)
+        ty = (y - y0) / (y1 - y0)
+        v00, v01 = self.values[i, j], self.values[i, j + 1]
+        v10, v11 = self.values[i + 1, j], self.values[i + 1, j + 1]
+        return float(
+            v00 * (1 - tx) * (1 - ty)
+            + v10 * tx * (1 - ty)
+            + v01 * (1 - tx) * ty
+            + v11 * tx * ty
+        )
+
+    def __repr__(self) -> str:
+        return f"GridUtility2D({self.xs.size}x{self.ys.size} grid)"

@@ -1,0 +1,43 @@
+"""fig3_data with alternate bundles (the reassignment-dynamics path)."""
+
+import pytest
+
+from repro.analysis import fig3_data
+from repro.workloads import generate_bundles
+
+
+class TestFig3AlternateBundle:
+    @pytest.fixture(scope="class")
+    def cpbn_data(self):
+        bundle = generate_bundles("CPBN", 8, count=1, seed=9)[0]
+        return fig3_data(bundle=bundle)
+
+    def test_n_app_has_lowest_lambda_under_equal_budget(self, cpbn_data):
+        lambdas = cpbn_data["lambdas"]["EqualBudget"]
+        from repro.cmp.spec_suite import INTENDED_CLASS
+
+        n_apps = [a for a in cpbn_data["apps"] if INTENDED_CLASS[a] == "N"]
+        assert n_apps, "CPBN bundle must contain an N app"
+        lowest = min(lambdas, key=lambdas.get)
+        assert INTENDED_CLASS[lowest] == "N"
+
+    def test_rebudget_cuts_and_raises_mur(self, cpbn_data):
+        summary = cpbn_data["summary"]
+        assert min(summary["ReBudget-40"]["budgets"].values()) < 100.0
+        assert summary["ReBudget-40"]["mur"] > summary["EqualBudget"]["mur"]
+
+    def test_efficiency_improves_with_aggressiveness(self, cpbn_data):
+        summary = cpbn_data["summary"]
+        assert (
+            summary["ReBudget-40"]["efficiency_vs_opt"]
+            >= summary["ReBudget-20"]["efficiency_vs_opt"] - 1e-9
+            >= summary["EqualBudget"]["efficiency_vs_opt"] - 1e-9
+        )
+
+    def test_cut_app_lambda_rises(self, cpbn_data):
+        lambdas_eq = cpbn_data["lambdas"]["EqualBudget"]
+        lambdas_rb = cpbn_data["lambdas"]["ReBudget-40"]
+        lowest = min(lambdas_eq, key=lambdas_eq.get)
+        # The paper's Figure 3 narrative: cutting a low-lambda player's
+        # budget raises its (normalized) marginal utility of money.
+        assert lambdas_rb[lowest] > lambdas_eq[lowest]

@@ -1,0 +1,32 @@
+"""Plain-text reporting helpers."""
+
+import numpy as np
+
+from repro.analysis import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.23456], ["long-name", 2.0]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.235" in out
+        assert "long-name" in out
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        out = format_series("curve", [0.0, 1.0], [0.5, 0.75])
+        assert out == "curve: 0:0.500 1:0.750"
+
+    def test_subsamples_long_series(self):
+        xs = np.arange(100.0)
+        out = format_series("c", xs, xs / 100.0, max_points=10)
+        assert len(out.split()) == 11  # name + 10 pairs

@@ -1,0 +1,96 @@
+"""The whole-chip model and its market-facing problem."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import MB, ChipModel, cmp_8core
+from repro.cmp.spec_suite import app_by_name
+from repro.exceptions import MarketConfigurationError
+from repro.workloads import paper_bbpc_bundle
+
+
+class TestChipModel:
+    def test_requires_one_app_per_core(self):
+        with pytest.raises(MarketConfigurationError):
+            ChipModel(cmp_8core(), [app_by_name("mcf")] * 3)
+
+    def test_free_minimums(self, bbpc_chip):
+        assert bbpc_chip.free.cache_bytes == 128 * 1024
+        # Every core's free power runs it at 800 MHz.
+        for core, watts in zip(bbpc_chip.cores, bbpc_chip.free.power_watts):
+            assert core.frequency_for_power(watts) == pytest.approx(0.8)
+
+    def test_extra_capacities(self, bbpc_chip):
+        # 4 MB minus 8 free regions = 3 MB of market cache.
+        assert bbpc_chip.extra_cache_capacity == 3 * MB
+        assert 0.0 < bbpc_chip.extra_power_capacity < 80.0
+
+
+class TestBuildProblem:
+    def test_shapes_and_names(self, bbpc_problem):
+        assert bbpc_problem.num_players == 8
+        assert bbpc_problem.num_resources == 2
+        assert list(bbpc_problem.resource_names) == ["cache_bytes", "power_watts"]
+        assert bbpc_problem.player_names[4] == "mcf"
+
+    def test_quanta_are_region_and_rapl(self, bbpc_problem):
+        np.testing.assert_allclose(bbpc_problem.quanta, [128 * 1024, 0.125])
+
+    def test_per_player_caps(self, bbpc_chip, bbpc_problem):
+        caps = bbpc_problem.per_player_caps
+        # Cache cap: 2 MB monitorable minus the free region.
+        assert np.all(caps[:, 0] == 15 * 128 * 1024)
+        for i, core in enumerate(bbpc_chip.cores):
+            assert caps[i, 1] == pytest.approx(
+                core.max_power_watts() - core.min_power_watts()
+            )
+
+    def test_custom_utilities_accepted(self, bbpc_chip):
+        from repro.utility import LogUtility
+
+        utilities = [LogUtility([1.0, 1.0])] * 8
+        problem = bbpc_chip.build_problem(utilities=utilities)
+        assert problem.utilities[0] is utilities[0]
+
+
+class TestOperatingPoints:
+    def test_roundtrip(self, bbpc_chip):
+        n = bbpc_chip.config.num_cores
+        extras = np.column_stack(
+            [
+                np.full(n, bbpc_chip.extra_cache_capacity / n),
+                np.full(n, bbpc_chip.extra_power_capacity / n),
+            ]
+        )
+        points = bbpc_chip.operating_points(extras)
+        assert len(points) == n
+        for p in points:
+            assert 0.8 <= p.frequency_ghz <= 4.0
+            assert 0.0 < p.utility <= 1.0
+
+    def test_true_utilities_monotone_in_extras(self, bbpc_chip):
+        n = bbpc_chip.config.num_cores
+        small = np.tile([0.0, 0.0], (n, 1))
+        big = np.column_stack(
+            [
+                np.full(n, bbpc_chip.extra_cache_capacity / n),
+                np.full(n, bbpc_chip.extra_power_capacity / n),
+            ]
+        )
+        assert np.all(
+            bbpc_chip.true_utilities(big) >= bbpc_chip.true_utilities(small) - 1e-9
+        )
+
+    def test_total_power_within_budget_at_equal_share(self, bbpc_chip):
+        n = bbpc_chip.config.num_cores
+        extras = np.column_stack(
+            [
+                np.full(n, bbpc_chip.extra_cache_capacity / n),
+                np.full(n, bbpc_chip.extra_power_capacity / n),
+            ]
+        )
+        assert bbpc_chip.total_power(extras) <= bbpc_chip.config.power_budget_watts + 1e-6
+
+    def test_rejects_bad_shape(self, bbpc_chip):
+        with pytest.raises(MarketConfigurationError):
+            bbpc_chip.operating_points(np.zeros((3, 2)))

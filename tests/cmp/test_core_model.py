@@ -1,0 +1,99 @@
+"""The analytic compute-phase + memory-phase core model."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import KB, MB, CoreModel, cmp_8core
+from repro.cmp.spec_suite import app_by_name
+
+
+@pytest.fixture(scope="module")
+def mcf_core():
+    return CoreModel(app_by_name("mcf"), cmp_8core())
+
+
+@pytest.fixture(scope="module")
+def hmmer_core():
+    return CoreModel(app_by_name("hmmer"), cmp_8core())
+
+
+class TestPerformance:
+    def test_monotone_in_cache(self, mcf_core):
+        perfs = [
+            mcf_core.performance_gips(s * 128 * KB, 2.0) for s in range(1, 17)
+        ]
+        assert all(a <= b + 1e-12 for a, b in zip(perfs, perfs[1:]))
+
+    def test_monotone_in_frequency(self, mcf_core):
+        perfs = [mcf_core.performance_gips(1 * MB, f) for f in (0.8, 2.0, 4.0)]
+        assert perfs[0] < perfs[1] < perfs[2]
+
+    def test_cache_clamped_beyond_umon_range(self, mcf_core):
+        # Footnote 3: beyond 16 regions no additional utility.
+        assert mcf_core.performance_gips(2 * MB, 2.0) == pytest.approx(
+            mcf_core.performance_gips(16 * MB, 2.0)
+        )
+
+    def test_decomposition(self, hmmer_core):
+        # Time per instruction = cpi/f + mpi * latency.
+        app = hmmer_core.app
+        t = hmmer_core.time_per_instruction_ns(1 * MB, 2.0)
+        expected = app.cpi_exe / 2.0 + app.misses_per_instruction(
+            1 * MB
+        ) * hmmer_core.memory_latency_ns
+        assert t == pytest.approx(expected)
+
+    def test_phase_scales(self, hmmer_core):
+        base = hmmer_core.time_per_instruction_ns(1 * MB, 2.0)
+        heavier = hmmer_core.time_per_instruction_ns(
+            1 * MB, 2.0, cpi_scale=2.0, apki_scale=2.0
+        )
+        assert heavier > base
+
+    def test_latency_override(self, mcf_core):
+        slow = mcf_core.performance_gips(256 * KB, 2.0, latency_ns=200.0)
+        fast = mcf_core.performance_gips(256 * KB, 2.0, latency_ns=20.0)
+        assert slow < fast
+
+
+class TestUtility:
+    def test_normalized_to_alone(self, mcf_core):
+        cfg = mcf_core.config
+        u = mcf_core.utility(cfg.umon_max_bytes, cfg.core.max_frequency_ghz)
+        assert u == pytest.approx(1.0)
+
+    def test_within_unit_interval(self, mcf_core):
+        for s in (128 * KB, 512 * KB, 2 * MB):
+            for f in (0.8, 2.4, 4.0):
+                assert 0.0 < mcf_core.utility(s, f) <= 1.0 + 1e-12
+
+    def test_mcf_figure2_anchor(self, mcf_core):
+        # Figure 2: mcf's utility is ~0.2 below its working set and ~1.0
+        # once 12 regions (1.5 MB) fit.
+        low = mcf_core.utility(4 * 128 * KB, 4.0)
+        high = mcf_core.utility(16 * 128 * KB, 4.0)
+        assert low < 0.3
+        assert high == pytest.approx(1.0, abs=0.01)
+
+
+class TestPowerIntegration:
+    def test_operating_point_consistency(self, hmmer_core):
+        point = hmmer_core.operating_point(1 * MB, 8.0)
+        assert 0.8 <= point.frequency_ghz <= 4.0
+        assert point.power_watts <= 8.0 + 1e-6
+        assert point.utility == pytest.approx(
+            hmmer_core.performance_gips(1 * MB, point.frequency_ghz)
+            / hmmer_core.alone_performance_gips
+        )
+
+    def test_min_power_runs_at_min_frequency(self, hmmer_core):
+        point = hmmer_core.operating_point(1 * MB, hmmer_core.min_power_watts())
+        assert point.frequency_ghz == pytest.approx(0.8)
+
+    def test_power_beyond_max_caps_at_4ghz(self, hmmer_core):
+        point = hmmer_core.operating_point(1 * MB, 1e3)
+        assert point.frequency_ghz == pytest.approx(4.0)
+
+    def test_activity_differentiates_power(self, mcf_core, hmmer_core):
+        # hmmer's activity (0.98) makes its watts dearer than mcf's (0.70).
+        assert hmmer_core.max_power_watts() > mcf_core.max_power_watts()

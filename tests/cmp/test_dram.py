@@ -1,0 +1,55 @@
+"""DDR3-1600 timing and the contention model."""
+
+import pytest
+
+from repro.cmp import DDR3Timing, DRAMModel, ddr3_1600
+
+
+class TestDDR3Timing:
+    def test_ddr3_1600_parameters(self):
+        t = ddr3_1600()
+        assert t.clock_mhz == 800.0
+        assert t.cl == t.trcd == t.trp == 11
+        assert t.cycle_ns == pytest.approx(1.25)
+
+    def test_latency_ordering(self):
+        t = ddr3_1600()
+        assert t.row_hit_ns() < t.row_closed_ns() < t.row_miss_ns()
+
+    def test_component_values(self):
+        t = ddr3_1600()
+        assert t.row_hit_ns() == pytest.approx((11 + 4) * 1.25)
+        assert t.row_miss_ns() == pytest.approx((11 + 11 + 11 + 4) * 1.25)
+
+
+class TestDRAMModel:
+    def test_uncontended_latency_is_mix(self):
+        m = DRAMModel(row_hit_fraction=1.0, row_closed_fraction=0.0)
+        assert m.uncontended_latency_ns() == pytest.approx(
+            m.timing.row_hit_ns() + m.controller_overhead_ns
+        )
+
+    def test_peak_bandwidth_scales_with_channels(self):
+        assert DRAMModel(channels=16).peak_bandwidth_gbps() == pytest.approx(
+            8 * DRAMModel(channels=2).peak_bandwidth_gbps()
+        )
+
+    def test_ddr3_1600_channel_bandwidth(self):
+        # 1600 MT/s x 8 bytes = 12.8 GB/s per channel.
+        assert DRAMModel(channels=1).peak_bandwidth_gbps() == pytest.approx(12.8)
+
+    def test_contention_monotone(self):
+        m = DRAMModel(channels=2)
+        lat = [m.latency_ns(bw) for bw in (0.0, 5.0, 10.0, 20.0)]
+        assert all(a <= b for a, b in zip(lat, lat[1:]))
+        assert lat[0] == pytest.approx(m.uncontended_latency_ns())
+
+    def test_contention_capped(self):
+        m = DRAMModel(channels=1)
+        assert m.latency_ns(1e9) < 10 * m.uncontended_latency_ns()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DRAMModel(channels=0)
+        with pytest.raises(ValueError):
+            DRAMModel(row_hit_fraction=0.9, row_closed_fraction=0.3)

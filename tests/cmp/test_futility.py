@@ -1,0 +1,63 @@
+"""Futility Scaling partition control."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import MB, FutilityScalingController
+
+
+class TestController:
+    def test_converges_to_targets(self):
+        ctrl = FutilityScalingController(4 * MB, 4)
+        targets = np.array([0.5, 1.0, 1.5, 1.0]) * MB
+        rates = np.array([10.0, 30.0, 5.0, 20.0])
+        for _ in range(60):
+            ctrl.step(targets, rates)
+        assert ctrl.max_error_fraction(targets) < 0.02
+
+    def test_capacity_conserved_every_epoch(self):
+        ctrl = FutilityScalingController(4 * MB, 4)
+        targets = np.array([0.5, 1.0, 1.5, 1.0]) * MB
+        rates = np.array([1.0, 1.0, 1.0, 1.0])
+        for _ in range(20):
+            occ = ctrl.step(targets, rates)
+            assert occ.sum() == pytest.approx(4 * MB, rel=1e-9)
+
+    def test_slew_limit_respected(self):
+        ctrl = FutilityScalingController(4 * MB, 2, max_slew_fraction=0.1)
+        before = ctrl.occupancy_bytes.copy()
+        after = ctrl.step(np.array([3.5 * MB, 0.5 * MB]), np.array([100.0, 1.0]))
+        moved = np.abs(after - before).sum() / 2.0
+        assert moved <= 0.1 * 4 * MB + 1e-6
+
+    def test_tracks_target_changes(self):
+        ctrl = FutilityScalingController(4 * MB, 2)
+        rates = np.array([5.0, 5.0])
+        for _ in range(40):
+            ctrl.step(np.array([3.0 * MB, 1.0 * MB]), rates)
+        assert ctrl.max_error_fraction(np.array([3.0 * MB, 1.0 * MB])) < 0.02
+        for _ in range(40):
+            ctrl.step(np.array([1.0 * MB, 3.0 * MB]), rates)
+        assert ctrl.max_error_fraction(np.array([1.0 * MB, 3.0 * MB])) < 0.02
+
+    def test_skewed_access_rates_still_converge(self):
+        # A partition with a tiny access rate must still reach a large
+        # target (the scaling factor compensates).
+        ctrl = FutilityScalingController(4 * MB, 2)
+        targets = np.array([3.0 * MB, 1.0 * MB])
+        rates = np.array([0.1, 100.0])
+        for _ in range(200):
+            ctrl.step(targets, rates)
+        assert ctrl.max_error_fraction(targets) < 0.05
+
+    def test_storage_overhead_near_paper(self):
+        ctrl = FutilityScalingController(4 * MB, 8)
+        assert ctrl.storage_overhead_fraction == pytest.approx(0.015, abs=0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FutilityScalingController(0.0, 2)
+        with pytest.raises(ValueError):
+            FutilityScalingController(1.0, 0)
+        with pytest.raises(ValueError):
+            FutilityScalingController(1.0, 2, gain=0.0)

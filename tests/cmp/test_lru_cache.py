@@ -1,0 +1,105 @@
+"""The concrete LRU cache and the stream-vs-model validation loop."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import KB, MB
+from repro.cmp.application import PowerLawMRC
+from repro.cmp.lru_cache import AddressStreamGenerator, SetAssociativeCache
+
+
+class TestSetAssociativeCache:
+    def test_geometry(self):
+        cache = SetAssociativeCache(64 * KB, associativity=4, line_bytes=64)
+        assert cache.num_sets == 256
+        assert cache.capacity_bytes == 64 * KB
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, associativity=4, line_bytes=64)
+
+    def test_hit_after_insert(self):
+        cache = SetAssociativeCache(4 * KB, associativity=2, line_bytes=64)
+        assert cache.access(0x1000) is False
+        assert cache.access(0x1000) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        # Associativity 2 with 1 set: third distinct line evicts the LRU.
+        cache = SetAssociativeCache(128, associativity=2, line_bytes=64)
+        a, b, c = 0, 128, 256  # all map to set 0 (line % 1 == 0)
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)      # a becomes MRU
+        cache.access(c)      # evicts b (LRU)
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_partitions_are_isolated_tags(self):
+        cache = SetAssociativeCache(4 * KB, associativity=4, line_bytes=64)
+        cache.access(0x40, partition=0)
+        # Same address from another partition is a distinct line.
+        assert cache.access(0x40, partition=1) is False
+        assert cache.partition_occupancy(0) == 1
+        assert cache.partition_occupancy(1) == 1
+
+    def test_partition_quota_enforced(self):
+        # One set of 4 ways; partition 0 is limited to 2 lines.
+        cache = SetAssociativeCache(
+            256, associativity=4, line_bytes=64, partition_targets={0: 2}
+        )
+        for k in range(4):
+            cache.access(k * 256, partition=0)
+        assert cache.partition_occupancy(0) == 2
+
+    def test_quota_partition_cannot_evict_others(self):
+        cache = SetAssociativeCache(
+            256, associativity=4, line_bytes=64, partition_targets={1: 1}
+        )
+        cache.access(0 * 256, partition=0)
+        cache.access(1 * 256, partition=0)
+        cache.access(2 * 256, partition=1)
+        cache.access(3 * 256, partition=1)  # must evict partition 1's own
+        assert cache.partition_occupancy(0) == 2
+        assert cache.partition_occupancy(1) == 1
+
+    def test_run_returns_delta_stats(self):
+        cache = SetAssociativeCache(4 * KB, associativity=4, line_bytes=64)
+        stats = cache.run(np.array([0, 64, 0, 64]))
+        assert stats.accesses == 4
+        assert stats.hits == 2
+        assert stats.miss_rate == pytest.approx(0.5)
+
+    def test_per_partition_stats(self):
+        cache = SetAssociativeCache(4 * KB, associativity=4, line_bytes=64)
+        cache.access(0, partition=3)
+        cache.access(0, partition=3)
+        assert cache.partition_stats[3].hits == 1
+
+
+class TestAddressStreamValidation:
+    """Close the loop: generated streams hit real caches like the MRC says."""
+
+    @pytest.fixture(scope="class")
+    def mrc(self):
+        return PowerLawMRC(0.8, 0.1, 64 * KB, 1.0)
+
+    def test_measured_miss_rate_matches_model(self, mrc):
+        rng = np.random.default_rng(5)
+        gen = AddressStreamGenerator(mrc, line_bytes=64, max_bytes=1 * MB)
+        addresses = gen.generate(rng, 30000)
+        for capacity in (32 * KB, 128 * KB, 512 * KB):
+            cache = SetAssociativeCache(capacity, associativity=16, line_bytes=64)
+            warm = 5000
+            cache.run(addresses[:warm])
+            stats = cache.run(addresses[warm:])
+            expected = mrc.miss_fraction(capacity)
+            # Set-associative conflicts add noise on top of the model.
+            assert stats.miss_rate == pytest.approx(expected, abs=0.07), capacity
+
+    def test_stream_reuses_lines(self, mrc):
+        rng = np.random.default_rng(6)
+        gen = AddressStreamGenerator(mrc, line_bytes=64)
+        addresses = gen.generate(rng, 2000)
+        assert len(np.unique(addresses)) < len(addresses)

@@ -1,0 +1,62 @@
+"""The 24-application suite and its class structure."""
+
+import pytest
+
+from repro.cmp import INTENDED_CLASS, SPEC_SUITE, app_by_name, apps_in_class, spec_suite
+
+
+class TestSuiteComposition:
+    def test_24_applications(self):
+        assert len(SPEC_SUITE) == 24
+
+    def test_six_per_class(self):
+        for cls in "CPBN":
+            assert len(apps_in_class(cls)) == 6
+
+    def test_names_unique(self):
+        names = [a.name for a in SPEC_SUITE]
+        assert len(set(names)) == 24
+
+    def test_suite_labels(self):
+        assert all(a.suite in ("spec2000", "spec2006") for a in SPEC_SUITE)
+
+    def test_spec_suite_returns_fresh_list(self):
+        a = spec_suite()
+        a.clear()
+        assert len(spec_suite()) == 24
+
+    def test_lookup(self):
+        assert app_by_name("mcf").name == "mcf"
+        with pytest.raises(KeyError):
+            app_by_name("doom")
+
+    def test_paper_applications_present(self):
+        # The apps named in the paper's text and figures.
+        for name in ("mcf", "vpr", "swim", "apsi", "hmmer", "sixtrack"):
+            assert INTENDED_CLASS[app_by_name(name).name] in "CPBN"
+
+    def test_mcf_working_set_is_1_5mb(self):
+        # Figure 2's anchor: mcf's cliff sits at 1.5 MB.
+        mcf = app_by_name("mcf")
+        assert mcf.mrc.ws_bytes == 1536 * 1024
+
+
+class TestParameterSanity:
+    def test_cpi_in_ooo_range(self):
+        # A 4-wide out-of-order core: compute CPI in [0.25, 1.25].
+        for app in SPEC_SUITE:
+            assert 0.25 <= app.cpi_exe <= 1.25, app.name
+
+    def test_activity_positive(self):
+        for app in SPEC_SUITE:
+            assert 0.3 <= app.activity <= 1.3, app.name
+
+    def test_apki_nonnegative(self):
+        for app in SPEC_SUITE:
+            assert 0.0 <= app.apki <= 60.0, app.name
+
+    def test_class_structure_reflects_intensity(self):
+        # N apps are the most memory-intensive; P apps barely touch L2.
+        p_apki = max(a.apki for a in apps_in_class("P"))
+        n_apki = min(a.apki for a in apps_in_class("N"))
+        assert p_apki < n_apki

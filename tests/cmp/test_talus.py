@@ -1,0 +1,78 @@
+"""Talus shadow-partition planning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cmp import KB, MB, TalusController
+from repro.cmp.application import CliffMRC
+
+
+@pytest.fixture
+def cliff_curve():
+    """An mcf-style utility curve with a cliff (values = hit rate)."""
+    mrc = CliffMRC(0.9, 0.05, 1536 * KB, 18.0)
+    sizes = np.arange(1, 17, dtype=float) * 128 * KB
+    values = np.array([1.0 - mrc.miss_fraction(s) for s in sizes])
+    return sizes, values
+
+
+class TestPlanning:
+    def test_sizes_sum_to_target(self, cliff_curve):
+        talus = TalusController(*cliff_curve)
+        plan = talus.plan(1.0 * MB)
+        assert plan.size_a_bytes + plan.size_b_bytes == pytest.approx(1.0 * MB)
+
+    def test_stream_fractions_sum_to_one(self, cliff_curve):
+        talus = TalusController(*cliff_curve)
+        plan = talus.plan(0.7 * MB)
+        assert plan.stream_fraction_a + plan.stream_fraction_b == pytest.approx(1.0)
+
+    def test_shadow_partitions_scale_with_pois(self, cliff_curve):
+        talus = TalusController(*cliff_curve)
+        plan = talus.plan(1.0 * MB)
+        rho = plan.stream_fraction_a
+        assert plan.size_a_bytes == pytest.approx(rho * plan.poi_low_bytes)
+        assert plan.size_b_bytes == pytest.approx((1 - rho) * plan.poi_high_bytes)
+
+    def test_degenerate_at_poi(self, cliff_curve):
+        talus = TalusController(*cliff_curve)
+        xs, _ = talus.points_of_interest
+        plan = talus.plan(float(xs[0]))
+        assert plan.stream_fraction_a == pytest.approx(1.0)
+
+    def test_realized_equals_hull(self, cliff_curve):
+        sizes, values = cliff_curve
+        talus = TalusController(sizes, values)
+        raw = lambda s: float(np.interp(s, sizes, values))
+        for target in (0.5 * MB, 1.0 * MB, 1.4 * MB, 1.8 * MB):
+            plan = talus.plan(target)
+            realized = talus.realized_value(plan, raw)
+            assert realized == pytest.approx(talus.value_at(target), abs=1e-9)
+
+    @given(st.floats(min_value=128 * KB, max_value=2 * MB))
+    @settings(max_examples=60, deadline=None)
+    def test_hull_dominates_raw_everywhere(self, target):
+        mrc = CliffMRC(0.9, 0.05, 1536 * KB, 18.0)
+        sizes = np.arange(1, 17, dtype=float) * 128 * KB
+        values = np.array([1.0 - mrc.miss_fraction(s) for s in sizes])
+        talus = TalusController(sizes, values)
+        raw_value = float(np.interp(target, sizes, values))
+        assert talus.value_at(target) >= raw_value - 1e-9
+
+
+class TestPointsOfInterest:
+    def test_cliff_has_few_pois(self, cliff_curve):
+        talus = TalusController(*cliff_curve)
+        xs, _ = talus.points_of_interest
+        # A single cliff hulls down to a handful of vertices, far fewer
+        # than the 16 samples.
+        assert xs.size < 8
+
+    def test_concave_curve_keeps_all_points(self):
+        sizes = np.arange(1.0, 6.0)
+        values = np.sqrt(sizes)
+        talus = TalusController(sizes, values)
+        xs, _ = talus.points_of_interest
+        assert xs.size == 5

@@ -1,0 +1,119 @@
+"""Market utility construction from the core models."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import cmp_8core, CoreModel
+from repro.cmp.spec_suite import app_by_name
+from repro.cmp.utility_builder import (
+    build_true_utility,
+    build_utility_from_miss_curve,
+    convexify_grid,
+    extra_capacity_for,
+)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return cmp_8core()
+
+
+@pytest.fixture(scope="module")
+def mcf_core(cfg):
+    return CoreModel(app_by_name("mcf"), cfg)
+
+
+def _axis_concave(values, axis):
+    """Second differences along one axis must be <= 0 (concave)."""
+    d2 = np.diff(values, n=2, axis=axis)
+    return np.all(d2 <= 1e-9)
+
+
+class TestConvexifyGrid:
+    def test_output_dominates_input(self, cfg, mcf_core):
+        u_raw = build_true_utility(mcf_core, cfg, convexify=False)
+        u_hull = build_true_utility(mcf_core, cfg, convexify=True)
+        assert np.all(u_hull.values >= u_raw.values - 1e-12)
+
+    def test_axis_concavity(self, cfg, mcf_core):
+        u = build_true_utility(mcf_core, cfg)
+        assert _axis_concave(u.values, 0)
+        assert _axis_concave(u.values, 1)
+
+    def test_idempotent(self):
+        xs = np.arange(5.0)
+        ys = np.arange(3.0)
+        vals = np.sqrt(xs[:, None] + 1.0) + np.sqrt(ys[None, :] + 1.0)
+        once = convexify_grid(xs, ys, vals)
+        np.testing.assert_allclose(once, vals, atol=1e-9)
+
+
+class TestTrueUtility:
+    def test_raw_mcf_has_cliff_hulled_does_not(self, cfg, mcf_core):
+        raw = build_true_utility(mcf_core, cfg, convexify=False)
+        cache_cap, power_cap = extra_capacity_for(mcf_core, cfg)
+        mid = raw.value((cache_cap / 2.0, power_cap))
+        hulled = build_true_utility(mcf_core, cfg).value((cache_cap / 2.0, power_cap))
+        assert hulled > mid + 0.1  # the hull bridges the cliff
+
+    def test_normalized_to_one_at_caps(self, cfg, mcf_core):
+        u = build_true_utility(mcf_core, cfg)
+        cache_cap, power_cap = extra_capacity_for(mcf_core, cfg)
+        assert u.value((cache_cap, power_cap)) == pytest.approx(1.0, abs=1e-6)
+
+    def test_nondecreasing_along_axes(self, cfg, mcf_core):
+        u = build_true_utility(mcf_core, cfg)
+        assert np.all(np.diff(u.values, axis=0) >= -1e-9)
+        assert np.all(np.diff(u.values, axis=1) >= -1e-9)
+
+    def test_matches_operating_points_at_grid(self, cfg):
+        # Un-convexified grid values must equal the analytic model.
+        core = CoreModel(app_by_name("vpr"), cfg)
+        u = build_true_utility(core, cfg, convexify=False)
+        min_cache = float(cfg.cache_region_bytes)
+        for ci in (0, 5, 15):
+            for pj in (0, 8, 16):
+                extra_c = u.xs[ci]
+                extra_p = u.ys[pj]
+                point = core.operating_point(
+                    min_cache + extra_c, core.min_power_watts() + extra_p
+                )
+                assert u.values[ci, pj] == pytest.approx(point.utility, rel=1e-6)
+
+
+class TestMonitoredUtility:
+    def test_exact_curve_matches_true_utility(self, cfg, mcf_core):
+        # Feeding the *true* miss curve through the monitored path must
+        # reproduce the true utility (modulo interpolation grid).
+        regions = np.arange(1, cfg.umon_max_regions + 1)
+        true_curve = np.array(
+            [
+                mcf_core.app.mrc.miss_fraction(r * cfg.cache_region_bytes)
+                for r in regions
+            ]
+        )
+        est = build_utility_from_miss_curve(mcf_core, cfg, true_curve)
+        true = build_true_utility(mcf_core, cfg)
+        cache_cap, power_cap = extra_capacity_for(mcf_core, cfg)
+        for c in (0.0, cache_cap / 2, cache_cap):
+            for p in (0.0, power_cap / 2, power_cap):
+                assert est.value((c, p)) == pytest.approx(
+                    true.value((c, p)), abs=0.02
+                )
+
+    def test_cpi_estimate_shifts_utility(self, cfg, mcf_core):
+        curve = np.linspace(0.9, 0.1, cfg.umon_max_regions)
+        a = build_utility_from_miss_curve(mcf_core, cfg, curve, cpi_estimate=0.5)
+        b = build_utility_from_miss_curve(mcf_core, cfg, curve, cpi_estimate=1.5)
+        # Both normalized, but the balance between cache and power shifts.
+        assert a.values.shape == b.values.shape
+        assert not np.allclose(a.values, b.values)
+
+
+class TestExtraCapacity:
+    def test_caps(self, cfg, mcf_core):
+        cache_cap, power_cap = extra_capacity_for(mcf_core, cfg)
+        assert cache_cap == cfg.umon_max_bytes - cfg.cache_region_bytes
+        assert power_cap == pytest.approx(
+            mcf_core.max_power_watts() - mcf_core.min_power_watts()
+        )

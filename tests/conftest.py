@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite.
+
+Heavier objects (the BBPC chip, true utilities) are session-scoped so
+the many tests that need a realistic multicore allocation problem don't
+pay the construction cost repeatedly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cmp import ChipModel, cmp_8core
+from repro.core import Market, Player, Resource, ResourceSet
+from repro.utility import LogUtility
+from repro.workloads import paper_bbpc_bundle
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def two_resource_set():
+    return ResourceSet.of(Resource("cache", 10.0), Resource("power", 5.0))
+
+
+@pytest.fixture
+def small_market(two_resource_set):
+    """Three log-utility players over two resources, equal budgets."""
+    players = [
+        Player("a", LogUtility([1.0, 0.2], [1.0, 1.0]), 100.0),
+        Player("b", LogUtility([0.2, 1.0], [1.0, 1.0]), 100.0),
+        Player("c", LogUtility([0.6, 0.6], [1.0, 1.0]), 100.0),
+    ]
+    return Market(two_resource_set, players)
+
+
+@pytest.fixture(scope="session")
+def bbpc_chip():
+    """The paper's 8-core BBPC case-study chip (Section 6.1.1)."""
+    return ChipModel(cmp_8core(), paper_bbpc_bundle().apps)
+
+
+@pytest.fixture(scope="session")
+def bbpc_problem(bbpc_chip):
+    """The convexified phase-1 allocation problem for the BBPC chip."""
+    return bbpc_chip.build_problem()

@@ -1,0 +1,160 @@
+"""Bidding strategies: the paper's hill climb and the exact reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExactBidder, HillClimbBidder
+from repro.core.bidding import BiddingStrategy, _project_to_simplex
+from repro.core.player import bid_to_allocation
+from repro.utility import LinearUtility, LogUtility, SaturatingUtility
+
+
+def _u_of_bids(utility, others, caps):
+    def f(bids):
+        return utility.value(bid_to_allocation(bids, others, caps))
+
+    return f
+
+
+class TestHillClimbBidder:
+    def test_spends_full_budget(self):
+        bidder = HillClimbBidder()
+        bids = bidder.optimize(
+            LogUtility([1.0, 1.0]), 100.0, np.array([50.0, 50.0]), np.array([10.0, 10.0])
+        )
+        assert bids.sum() == pytest.approx(100.0)
+        assert np.all(bids >= 0.0)
+
+    def test_improves_on_equal_split(self):
+        # Utility strongly favouring resource 0: the climb must shift
+        # money toward it.
+        utility = LogUtility([5.0, 0.1])
+        others = np.array([50.0, 50.0])
+        caps = np.array([10.0, 10.0])
+        bidder = HillClimbBidder()
+        bids = bidder.optimize(utility, 100.0, others, caps)
+        f = _u_of_bids(utility, others, caps)
+        assert f(bids) >= f(np.array([50.0, 50.0]))
+        assert bids[0] > bids[1]
+
+    def test_single_resource_bids_everything(self):
+        bids = HillClimbBidder().optimize(
+            LinearUtility([1.0]), 42.0, np.array([10.0]), np.array([5.0])
+        )
+        np.testing.assert_allclose(bids, [42.0])
+
+    def test_zero_budget(self):
+        bids = HillClimbBidder().optimize(
+            LinearUtility([1.0, 1.0]), 0.0, np.array([1.0, 1.0]), np.array([5.0, 5.0])
+        )
+        np.testing.assert_allclose(bids, [0.0, 0.0])
+
+    def test_near_equalizes_marginals_when_interior(self):
+        from repro.core.player import marginal_utility_of_bids
+
+        utility = LogUtility([1.0, 1.0])
+        others = np.array([80.0, 20.0])
+        caps = np.array([10.0, 10.0])
+        bids = HillClimbBidder().optimize(utility, 100.0, others, caps)
+        marg = marginal_utility_of_bids(utility, bids, others, caps)
+        # Stop criterion: within 5% (plus the finite final step).
+        assert marg.max() - marg.min() <= 0.12 * marg.max()
+
+    @given(
+        st.floats(min_value=0.1, max_value=5.0),
+        st.floats(min_value=0.1, max_value=5.0),
+        st.floats(min_value=1.0, max_value=200.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budget_feasibility_property(self, w0, w1, others_scale):
+        utility = LogUtility([w0, w1])
+        others = np.array([others_scale, others_scale / 2.0])
+        caps = np.array([10.0, 10.0])
+        bids = HillClimbBidder().optimize(utility, 100.0, others, caps)
+        assert bids.sum() <= 100.0 + 1e-9
+        assert np.all(bids >= -1e-12)
+
+
+class TestExactBidder:
+    def test_matches_or_beats_hill_climb(self):
+        utility = LogUtility([3.0, 1.0])
+        others = np.array([40.0, 60.0])
+        caps = np.array([10.0, 10.0])
+        f = _u_of_bids(utility, others, caps)
+        hill = HillClimbBidder().optimize(utility, 100.0, others, caps)
+        exact = ExactBidder().optimize(utility, 100.0, others, caps)
+        assert f(exact) >= f(hill) - 1e-6
+
+    def test_analytic_two_symmetric_resources(self):
+        # Symmetric utility + symmetric others => optimal bids are equal.
+        utility = LogUtility([1.0, 1.0])
+        others = np.array([30.0, 30.0])
+        caps = np.array([10.0, 10.0])
+        bids = ExactBidder().optimize(utility, 100.0, others, caps)
+        assert bids[0] == pytest.approx(bids[1], rel=1e-3)
+
+    def test_warm_start_rescaled(self):
+        utility = LogUtility([1.0, 1.0])
+        bids = ExactBidder().optimize(
+            utility,
+            50.0,
+            np.array([10.0, 10.0]),
+            np.array([5.0, 5.0]),
+            current_bids=np.array([80.0, 20.0]),
+        )
+        assert bids.sum() == pytest.approx(50.0)
+
+    def test_saturating_utility_stops_buying(self):
+        # Once saturated, extra bids add nothing; budget still feasible.
+        utility = SaturatingUtility([1.0, 1.0], [1.0, 1.0])
+        bids = ExactBidder().optimize(
+            utility, 100.0, np.array([1.0, 1.0]), np.array([10.0, 10.0])
+        )
+        assert bids.sum() <= 100.0 + 1e-9
+
+
+class TestPlayerLambda:
+    def test_lambda_is_max_active_marginal(self):
+        utility = LogUtility([1.0, 1.0])
+        bids = np.array([50.0, 0.0])
+        others = np.array([50.0, 50.0])
+        caps = np.array([10.0, 10.0])
+        lam = BiddingStrategy.player_lambda(utility, bids, others, caps)
+        from repro.core.player import marginal_utility_of_bids
+
+        marg = marginal_utility_of_bids(utility, bids, others, caps)
+        assert lam == pytest.approx(marg[0])
+
+    def test_lambda_zero_bids(self):
+        utility = LogUtility([1.0, 1.0])
+        lam = BiddingStrategy.player_lambda(
+            utility, np.zeros(2), np.array([1.0, 1.0]), np.array([5.0, 5.0])
+        )
+        assert lam >= 0.0
+
+
+class TestSimplexProjection:
+    def test_already_feasible(self):
+        p = _project_to_simplex(np.array([30.0, 70.0]), 100.0)
+        np.testing.assert_allclose(p, [30.0, 70.0])
+
+    def test_clips_negative(self):
+        p = _project_to_simplex(np.array([-50.0, 150.0]), 100.0)
+        assert np.all(p >= 0.0)
+        assert p.sum() == pytest.approx(100.0)
+
+    @given(
+        st.lists(st.floats(min_value=-100.0, max_value=100.0), min_size=2, max_size=6),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_projection_properties(self, vector, total):
+        p = _project_to_simplex(np.array(vector), total)
+        assert np.all(p >= -1e-9)
+        assert p.sum() == pytest.approx(total, rel=1e-6)
+
+    def test_zero_total(self):
+        p = _project_to_simplex(np.array([1.0, 2.0]), 0.0)
+        np.testing.assert_allclose(p, [0.0, 0.0])

@@ -1,0 +1,109 @@
+"""Failure injection and degenerate markets.
+
+The market layer must stay well-behaved when players are broke,
+indifferent, or alone, and when resources attract no bids at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EqualBudget,
+    AllocationProblem,
+    Market,
+    Player,
+    ReBudgetConfig,
+    Resource,
+    ResourceSet,
+    find_equilibrium,
+    run_rebudget,
+)
+from repro.utility import LinearUtility, LogUtility, SaturatingUtility
+
+
+class TestDegenerateMarkets:
+    def test_single_player_takes_everything(self):
+        rs = ResourceSet.of(Resource("cache", 8.0), Resource("power", 4.0))
+        market = Market(rs, [Player("solo", LogUtility([1.0, 1.0]), 50.0)])
+        eq = find_equilibrium(market)
+        np.testing.assert_allclose(eq.state.allocations[0], [8.0, 4.0])
+
+    def test_broke_player_gets_nothing(self):
+        rs = ResourceSet.of(Resource("cache", 8.0))
+        market = Market(
+            rs,
+            [
+                Player("rich", LogUtility([1.0]), 100.0),
+                Player("broke", LogUtility([1.0]), 0.0),
+            ],
+        )
+        eq = find_equilibrium(market)
+        assert eq.state.allocations[1, 0] == 0.0
+        assert eq.state.allocations[0, 0] == pytest.approx(8.0)
+
+    def test_indifferent_player_leaves_resource_to_others(self):
+        rs = ResourceSet.of(Resource("cache", 8.0), Resource("power", 4.0))
+        market = Market(
+            rs,
+            [
+                Player("cache-only", LinearUtility([1.0, 0.0]), 100.0),
+                Player("power-only", LinearUtility([0.0, 1.0]), 100.0),
+            ],
+        )
+        eq = find_equilibrium(market)
+        # Each specialist ends up with (almost) all of its resource.
+        assert eq.state.allocations[0, 0] > 7.5
+        assert eq.state.allocations[1, 1] > 3.75
+
+    def test_fully_saturated_market_is_stable(self):
+        # Everyone's utility is flat at their current holdings: lambdas
+        # are 0, MUR degenerates to 1, ReBudget does nothing.
+        rs = ResourceSet.of(Resource("cache", 8.0), Resource("power", 4.0))
+        market = Market(
+            rs,
+            [
+                Player(f"p{i}", SaturatingUtility([1.0, 1.0], [1e-6, 1e-6]), 100.0)
+                for i in range(3)
+            ],
+        )
+        result = run_rebudget(market, ReBudgetConfig(step=20.0))
+        np.testing.assert_allclose(result.final_budgets, 100.0)
+        assert result.mur == 1.0
+
+    def test_zero_budget_everywhere(self):
+        rs = ResourceSet.of(Resource("cache", 8.0))
+        market = Market(
+            rs, [Player(f"p{i}", LogUtility([1.0]), 0.0) for i in range(2)]
+        )
+        eq = find_equilibrium(market)
+        assert eq.state.allocations.sum() == 0.0
+        assert eq.converged  # zero prices are stable prices
+
+
+class TestProblemEdgeCases:
+    def test_single_resource_problem(self):
+        problem = AllocationProblem(
+            utilities=[LogUtility([1.0]), LogUtility([2.0])],
+            capacities=np.array([10.0]),
+            resource_names=["cache"],
+            player_names=["a", "b"],
+            quanta=np.array([0.1]),
+        )
+        result = EqualBudget().allocate(problem)
+        assert result.allocations.shape == (2, 1)
+        np.testing.assert_allclose(result.allocations.sum(), 10.0)
+
+    def test_many_players_few_resources(self):
+        n = 32
+        problem = AllocationProblem(
+            utilities=[LogUtility([1.0, 1.0]) for _ in range(n)],
+            capacities=np.array([10.0, 10.0]),
+            resource_names=["cache", "power"],
+            player_names=[f"p{i}" for i in range(n)],
+        )
+        result = EqualBudget().allocate(problem)
+        # Symmetric players: near-equal split.
+        np.testing.assert_allclose(
+            result.allocations, 10.0 / n, rtol=0.05
+        )
+        assert result.envy_freeness > 0.9

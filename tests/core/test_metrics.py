@@ -1,0 +1,104 @@
+"""Efficiency, envy-freeness, MUR and MBR metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    efficiency,
+    envy_freeness,
+    envy_matrix,
+    market_budget_range,
+    market_utility_range,
+    price_of_anarchy,
+)
+from repro.utility import LinearUtility
+
+
+class TestEfficiency:
+    def test_sum_of_utilities(self):
+        assert efficiency([0.5, 0.7, 0.8]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert efficiency([]) == 0.0
+
+
+class TestEnvyMatrix:
+    def test_entries(self):
+        utilities = [LinearUtility([1.0]), LinearUtility([2.0])]
+        allocations = np.array([[1.0], [3.0]])
+        matrix = envy_matrix(utilities, allocations)
+        np.testing.assert_allclose(matrix, [[1.0, 3.0], [2.0, 6.0]])
+
+
+class TestEnvyFreeness:
+    def test_equal_split_identical_players_is_envy_free(self):
+        utilities = [LinearUtility([1.0, 1.0])] * 3
+        allocations = np.tile([2.0, 2.0], (3, 1))
+        assert envy_freeness(utilities, allocations) == pytest.approx(1.0)
+
+    def test_definition_3(self):
+        # Player 0 values player 1's bundle at 4 vs its own 1 -> EF 0.25.
+        utilities = [LinearUtility([1.0]), LinearUtility([1.0])]
+        allocations = np.array([[1.0], [4.0]])
+        assert envy_freeness(utilities, allocations) == pytest.approx(0.25)
+
+    def test_capped_at_one(self):
+        # Everyone strictly prefers their own bundle: EF is 1 (the i==j
+        # pairs are included in the minimum).
+        utilities = [LinearUtility([1.0, 0.0]), LinearUtility([0.0, 1.0])]
+        allocations = np.array([[5.0, 0.0], [0.0, 5.0]])
+        assert envy_freeness(utilities, allocations) == 1.0
+
+    def test_worthless_bundles_ignored(self):
+        utilities = [LinearUtility([1.0, 0.0]), LinearUtility([0.0, 1.0])]
+        # Player 1 holds something player 0 values at zero.
+        allocations = np.array([[2.0, 0.0], [0.0, 3.0]])
+        assert envy_freeness(utilities, allocations) == 1.0
+
+    def test_zero_own_utility_with_positive_envy(self):
+        utilities = [LinearUtility([1.0]), LinearUtility([1.0])]
+        allocations = np.array([[0.0], [4.0]])
+        assert envy_freeness(utilities, allocations) == 0.0
+
+    def test_single_player(self):
+        assert envy_freeness([LinearUtility([1.0])], np.array([[1.0]])) == 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=3, max_size=3)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_always_in_unit_interval_for_positive_bundles(self, amounts):
+        utilities = [LinearUtility([1.0])] * 3
+        allocations = np.array(amounts)[:, None]
+        ef = envy_freeness(utilities, allocations)
+        assert 0.0 <= ef <= 1.0
+
+
+class TestPriceOfAnarchy:
+    def test_ratio(self):
+        assert price_of_anarchy(8.0, 10.0) == pytest.approx(0.8)
+
+    def test_degenerate_opt(self):
+        assert price_of_anarchy(1.0, 0.0) == 1.0
+
+
+class TestRanges:
+    def test_mur(self):
+        assert market_utility_range([1.0, 2.0, 4.0]) == pytest.approx(0.25)
+
+    def test_mur_all_zero(self):
+        assert market_utility_range([0.0, 0.0]) == 1.0
+
+    def test_mbr(self):
+        assert market_budget_range([50.0, 100.0]) == pytest.approx(0.5)
+
+    def test_mbr_equal_budgets(self):
+        assert market_budget_range([100.0] * 5) == 1.0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=8))
+    @settings(max_examples=80, deadline=None)
+    def test_ranges_in_unit_interval(self, values):
+        assert 0.0 <= market_utility_range(values) <= 1.0
+        assert 0.0 <= market_budget_range(values) <= 1.0

@@ -1,0 +1,89 @@
+"""The MaxEfficiency greedy + exchange welfare maximizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import max_efficiency_allocation
+from repro.exceptions import MarketConfigurationError
+from repro.utility import GridUtility2D, LinearUtility, LogUtility, SaturatingUtility
+
+
+class TestGreedyOptimum:
+    def test_linear_utilities_winner_takes_all(self):
+        # OPT for linear utilities: each resource goes wholly to the
+        # player with the largest weight (see the proof of Theorem 1).
+        utilities = [LinearUtility([3.0, 1.0]), LinearUtility([1.0, 2.0])]
+        out = max_efficiency_allocation(utilities, [10.0, 10.0], [0.5, 0.5])
+        np.testing.assert_allclose(out.allocations[0], [10.0, 0.0])
+        np.testing.assert_allclose(out.allocations[1], [0.0, 10.0])
+        assert out.efficiency == pytest.approx(50.0)
+
+    def test_saturating_utilities_split_at_caps(self):
+        # Each player only values the first 2 units of resource 0.
+        utilities = [
+            SaturatingUtility([1.0, 0.0], [2.0, 1.0]),
+            SaturatingUtility([1.0, 0.0], [2.0, 1.0]),
+        ]
+        out = max_efficiency_allocation(utilities, [4.0, 1.0], [0.25, 0.25])
+        assert out.allocations[0, 0] == pytest.approx(2.0)
+        assert out.allocations[1, 0] == pytest.approx(2.0)
+        assert out.efficiency == pytest.approx(2.0)
+
+    def test_symmetric_log_split_evenly(self):
+        utilities = [LogUtility([1.0], [1.0]) for _ in range(4)]
+        out = max_efficiency_allocation(utilities, [8.0], [0.125])
+        np.testing.assert_allclose(out.allocations[:, 0], 2.0, atol=0.2)
+
+    def test_no_leftovers(self):
+        # Even when nobody values a resource, everything is handed out.
+        utilities = [LinearUtility([1.0, 0.0]), LinearUtility([1.0, 0.0])]
+        out = max_efficiency_allocation(utilities, [4.0, 6.0], [1.0, 1.0])
+        assert out.allocations[:, 1].sum() == pytest.approx(6.0)
+
+    def test_per_player_caps_respected(self):
+        utilities = [LinearUtility([5.0]), LinearUtility([1.0])]
+        caps = np.array([[3.0], [100.0]])
+        out = max_efficiency_allocation(utilities, [10.0], [1.0], per_player_caps=caps)
+        assert out.allocations[0, 0] <= 3.0 + 1e-9
+        # The remainder flows to the second-best player.
+        assert out.allocations[1, 0] == pytest.approx(7.0)
+
+    def test_complementary_resources_fixed_by_exchange(self):
+        # Player 0's cache is worthless without power and vice versa
+        # (bilinear-ish complement via a grid); the myopic greedy can
+        # stall, the exchange pass must recover the joint optimum.
+        grid = GridUtility2D(
+            np.array([0.0, 1.0]),
+            np.array([0.0, 1.0]),
+            np.array([[0.0, 0.0], [0.0, 10.0]]),
+        )
+        utilities = [grid, LinearUtility([0.5, 0.5])]
+        out = max_efficiency_allocation(utilities, [1.0, 1.0], [0.25, 0.25])
+        # OPT = 10 (give player 0 both) vs 1.0 for giving player 1 all.
+        assert out.efficiency == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(MarketConfigurationError):
+            max_efficiency_allocation([LinearUtility([1.0])], [1.0], [1.0, 1.0])
+        with pytest.raises(MarketConfigurationError):
+            max_efficiency_allocation([LinearUtility([1.0])], [1.0], [0.0])
+        with pytest.raises(MarketConfigurationError):
+            max_efficiency_allocation(
+                [LinearUtility([1.0])], [1.0], [1.0], per_player_caps=np.zeros((2, 1))
+            )
+
+    def test_matches_analytic_concave_optimum(self):
+        # For U_i = w_i * log(1 + r), the water-filling optimum equalizes
+        # w_i / (1 + r_i); with w = (1, 2) and C = 3 the solution is
+        # r = (2/3, 7/3).
+        utilities = [LogUtility([1.0], [1.0]), LogUtility([2.0], [1.0])]
+        out = max_efficiency_allocation(utilities, [3.0], [0.01])
+        assert out.allocations[0, 0] == pytest.approx(2.0 / 3.0, abs=0.05)
+        assert out.allocations[1, 0] == pytest.approx(7.0 / 3.0, abs=0.05)
+
+    def test_beats_market_on_bbpc(self, bbpc_problem):
+        from repro.core import EqualBudget, MaxEfficiency
+
+        opt = MaxEfficiency().allocate(bbpc_problem)
+        market = EqualBudget().allocate(bbpc_problem)
+        assert opt.efficiency >= market.efficiency - 1e-6

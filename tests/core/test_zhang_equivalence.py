@@ -1,0 +1,44 @@
+"""Zhang's two market settings coincide under normalized utilities.
+
+Section 2.3 notes that because the multicore utility is normalized to
+the standalone maximum (U_max = 1 for everyone), Zhang's
+"proportionally balanced budget" market (budget proportional to maximum
+utility, Lemma 2) and the equal-budget market (Lemma 3) are equivalent
+within the paper's scope.  These tests pin that observation down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import EqualBudget, find_equilibrium
+
+
+class TestProportionalBudgetEquivalence:
+    def test_budgets_proportional_to_max_utility_equal_normalized(self, bbpc_problem):
+        # Max utility over purchasable extras is 1 for every player (the
+        # utilities are normalized to standalone performance).
+        for i, utility in enumerate(bbpc_problem.utilities):
+            cap = bbpc_problem.per_player_caps[i]
+            assert utility.value(cap) == pytest.approx(1.0, abs=1e-6)
+
+    def test_proportional_and_equal_budget_markets_coincide(self, bbpc_problem):
+        base = 100.0
+        max_utils = np.array(
+            [
+                u.value(bbpc_problem.per_player_caps[i])
+                for i, u in enumerate(bbpc_problem.utilities)
+            ]
+        )
+        proportional = base * max_utils / max_utils.max()
+        eq_equal = find_equilibrium(bbpc_problem.build_market([base] * 8))
+        eq_prop = find_equilibrium(bbpc_problem.build_market(proportional.tolist()))
+        np.testing.assert_allclose(
+            eq_prop.state.allocations, eq_equal.state.allocations, rtol=1e-6
+        )
+
+    def test_lemma2_and_lemma3_bounds_both_apply(self, bbpc_problem):
+        # With the two markets equivalent, the equal-budget equilibrium
+        # carries Lemma 3's fairness (0.828-EF) while being the market
+        # Lemma 2's PoA statement covers.
+        result = EqualBudget().allocate(bbpc_problem)
+        assert result.envy_freeness >= 0.828 - 1e-9

@@ -1,0 +1,45 @@
+"""Convergence regression tests for known-hard market instances.
+
+These specific bundles once drove the Jacobi loop into its 30-round
+fail-safe via price oscillation; the damping logic must keep them
+converging quickly.  (See `core.equilibrium` and DESIGN.md's ablation
+list.)
+"""
+
+import pytest
+
+from repro.cmp import ChipModel, cmp_8core, cmp_64core
+from repro.core import find_equilibrium
+from repro.workloads import generate_bundles
+
+
+def _equilibrium_for(category, cores, seed, index=0, count=None):
+    config = cmp_64core() if cores == 64 else cmp_8core()
+    bundles = generate_bundles(category, cores, count=count or (index + 1), seed=seed)
+    chip = ChipModel(config, bundles[index].apps)
+    market = chip.build_problem().build_market([100.0] * cores)
+    return find_equilibrium(market)
+
+
+class TestOscillationDamping:
+    def test_bbnn_64core_bundle1(self):
+        # Once a period-2 oscillator that hit the fail-safe.
+        eq = _equilibrium_for("BBNN", 64, seed=2016, index=1, count=2)
+        assert eq.converged
+        assert eq.iterations <= 12
+
+    def test_bbpn_64core_bundle1(self):
+        eq = _equilibrium_for("BBPN", 64, seed=2016, index=1, count=2)
+        assert eq.converged
+        assert eq.iterations <= 12
+
+    def test_bbpn_8core_seed13(self):
+        # A drifting (non-period-2) oscillation fixed by late damping.
+        eq = _equilibrium_for("BBPN", 8, seed=13)
+        assert eq.converged
+        assert eq.iterations <= 15
+
+    def test_damping_does_not_slow_easy_markets(self):
+        eq = _equilibrium_for("CCPP", 64, seed=2016)
+        assert eq.converged
+        assert eq.iterations <= 5

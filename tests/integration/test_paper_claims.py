@@ -1,0 +1,116 @@
+"""Paper-level properties checked end to end on small configurations.
+
+These tests tie the theory (Theorems 1 & 2) to the implemented system:
+every computed equilibrium must respect the bounds, and ReBudget must
+exhibit its efficiency-vs-fairness knob behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cmp import ChipModel, cmp_8core
+from repro.core import (
+    EqualBudget,
+    EqualShare,
+    MaxEfficiency,
+    ReBudgetMechanism,
+    envy_freeness,
+)
+from repro.core.theory import ef_lower_bound, poa_lower_bound
+from repro.workloads import generate_bundles
+
+
+@pytest.fixture(scope="module")
+def cpbn_problem():
+    """An 8-core CPBN bundle: N apps give ReBudget room to act."""
+    bundle = generate_bundles("CPBN", 8, count=1, seed=9)[0]
+    chip = ChipModel(cmp_8core(), bundle.apps)
+    return chip.build_problem()
+
+
+@pytest.fixture(scope="module")
+def all_results(cpbn_problem):
+    mechanisms = [
+        EqualShare(),
+        EqualBudget(),
+        ReBudgetMechanism(step=20),
+        ReBudgetMechanism(step=40),
+        MaxEfficiency(),
+    ]
+    return {m.name: m.allocate(cpbn_problem) for m in mechanisms}
+
+
+class TestTheorem1EndToEnd:
+    def test_realized_poa_respects_bound(self, all_results):
+        opt = all_results["MaxEfficiency"].efficiency
+        for name in ("EqualBudget", "ReBudget-20", "ReBudget-40"):
+            result = all_results[name]
+            realized = result.efficiency / opt
+            assert realized >= poa_lower_bound(result.mur) - 0.01, name
+
+
+class TestTheorem2EndToEnd:
+    def test_realized_ef_respects_bound(self, all_results):
+        for name in ("EqualBudget", "ReBudget-20", "ReBudget-40"):
+            result = all_results[name]
+            assert result.envy_freeness >= ef_lower_bound(result.mbr) - 1e-9, name
+
+    def test_rebudget_mbr_matches_schedule(self, all_results):
+        # ReBudget-20's worst-case budget is 61.25 -> MBR >= 0.6125.
+        assert all_results["ReBudget-20"].mbr >= 0.6125 - 1e-9
+        # ReBudget-40: cuts of 40+20+10+5+2.5+1.25 -> floor 21.25.
+        assert all_results["ReBudget-40"].mbr >= 0.2125 - 1e-9
+
+
+class TestEfficiencyFairnessKnob:
+    def test_efficiency_ordering(self, all_results):
+        # The paper's Figure 4a ordering: more aggressive budget
+        # reassignment buys more efficiency.
+        assert (
+            all_results["ReBudget-40"].efficiency
+            >= all_results["ReBudget-20"].efficiency - 1e-6
+        )
+        assert (
+            all_results["ReBudget-20"].efficiency
+            >= all_results["EqualBudget"].efficiency - 1e-6
+        )
+
+    def test_fairness_ordering(self, all_results):
+        # And Figure 4b: fairness moves the other way.
+        assert (
+            all_results["ReBudget-40"].envy_freeness
+            <= all_results["ReBudget-20"].envy_freeness + 1e-6
+        )
+        assert (
+            all_results["ReBudget-20"].envy_freeness
+            <= all_results["EqualBudget"].envy_freeness + 1e-6
+        )
+
+    def test_extremes(self, all_results):
+        # EqualShare is exactly envy-free; MaxEfficiency is the most
+        # efficient and the least fair.
+        assert all_results["EqualShare"].envy_freeness == pytest.approx(1.0)
+        best_eff = max(r.efficiency for r in all_results.values())
+        assert all_results["MaxEfficiency"].efficiency == pytest.approx(best_eff)
+        worst_ef = min(r.envy_freeness for r in all_results.values())
+        assert all_results["MaxEfficiency"].envy_freeness == pytest.approx(worst_ef)
+
+
+class TestMarketProperties:
+    def test_full_distribution(self, cpbn_problem, all_results):
+        # "The remaining resources will be entirely distributed."  The
+        # quantized MaxEfficiency search may leave at most a fraction of
+        # one quantum per resource on the table.
+        for name in ("EqualBudget", "ReBudget-40", "MaxEfficiency"):
+            totals = all_results[name].allocations.sum(axis=0)
+            shortfall = cpbn_problem.capacities - totals
+            assert np.all(shortfall <= cpbn_problem.quanta + 1e-9), name
+            assert np.all(shortfall >= -1e-6), name
+
+    def test_convergence_within_failsafe(self, all_results):
+        assert all_results["EqualBudget"].iterations <= 30
+        assert all_results["EqualBudget"].converged
+
+    def test_equal_budget_highly_fair(self, all_results):
+        # Paper: EqualBudget is ~0.93-approximate envy-free worst case.
+        assert all_results["EqualBudget"].envy_freeness >= 0.85

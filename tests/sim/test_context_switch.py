@@ -1,0 +1,82 @@
+"""Context switches: the 1 ms re-allocation loop earning its keep."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import ChipModel, cmp_8core
+from repro.cmp.spec_suite import app_by_name
+from repro.core import EqualBudget
+from repro.sim import ContextSwitch, ExecutionDrivenSimulator, SimulationConfig
+from repro.workloads import paper_bbpc_bundle
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return ChipModel(cmp_8core(), paper_bbpc_bundle().apps)
+
+
+def _run(chip, switches, duration=10.0, seed=5):
+    cfg = SimulationConfig(
+        duration_ms=duration, seed=seed, context_switches=tuple(switches)
+    )
+    return ExecutionDrivenSimulator(chip, EqualBudget(), cfg).run()
+
+
+class TestContextSwitch:
+    def test_validation(self, chip):
+        with pytest.raises(ValueError):
+            _run(chip, [ContextSwitch(1.0, 99, app_by_name("mcf"))])
+
+    def test_chip_not_mutated(self, chip):
+        before = [c.app.name for c in chip.cores]
+        _run(chip, [ContextSwitch(2.0, 0, app_by_name("libquantum"))], duration=4.0)
+        assert [c.app.name for c in chip.cores] == before
+
+    def test_switch_changes_market_player(self, chip):
+        # Swap core 0 (apsi) for povray: after the switch the market's
+        # player list must reflect the new app.
+        sim = ExecutionDrivenSimulator(
+            chip,
+            EqualBudget(),
+            SimulationConfig(
+                duration_ms=6.0,
+                seed=5,
+                context_switches=(ContextSwitch(3.0, 0, app_by_name("povray")),),
+            ),
+        )
+        sim.run()
+        assert sim._cores[0].app.name == "povray"
+
+    def test_allocation_adapts_to_incoming_app(self, chip):
+        # Replace a cache-hungry mcf (core 4) with a compute-bound
+        # povray mid-run: the market should stop granting that core
+        # cache and start granting it power.
+        result = _run(
+            chip,
+            [ContextSwitch(5.0, 4, app_by_name("povray"))],
+            duration=12.0,
+        )
+        cache_before = np.mean(
+            [r.extras[4, 0] for r in result.trace.epochs if r.time_ms < 5.0]
+        )
+        cache_after = np.mean(
+            [r.extras[4, 0] for r in result.trace.epochs if r.time_ms >= 8.0]
+        )
+        power_before = np.mean(
+            [r.extras[4, 1] for r in result.trace.epochs if r.time_ms < 5.0]
+        )
+        power_after = np.mean(
+            [r.extras[4, 1] for r in result.trace.epochs if r.time_ms >= 8.0]
+        )
+        assert cache_after < cache_before * 0.6
+        assert power_after > power_before
+
+    def test_run_completes_with_many_switches(self, chip):
+        switches = [
+            ContextSwitch(2.0, 0, app_by_name("lbm")),
+            ContextSwitch(2.0, 1, app_by_name("gcc")),
+            ContextSwitch(4.0, 0, app_by_name("mcf")),
+        ]
+        result = _run(chip, switches, duration=6.0)
+        assert result.trace.num_epochs == 6
+        assert np.all(result.utilities > 0.0)

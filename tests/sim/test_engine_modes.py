@@ -1,0 +1,62 @@
+"""Engine corner modes: problem construction, warm-up, trace integrity."""
+
+import numpy as np
+import pytest
+
+from repro.cmp import ChipModel, cmp_8core
+from repro.core import EqualBudget
+from repro.sim import ExecutionDrivenSimulator, SimulationConfig
+from repro.workloads import paper_bbpc_bundle
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return ChipModel(cmp_8core(), paper_bbpc_bundle().apps)
+
+
+def _fresh_monitors(sim):
+    from repro.cmp import RuntimeMonitor
+
+    rng = np.random.default_rng(0)
+    return [RuntimeMonitor(core, sim.chip.config, rng=rng) for core in sim._cores]
+
+
+class TestProblemConstruction:
+    def test_monitored_problem_quanta(self, chip):
+        cfg = SimulationConfig(duration_ms=2.0, seed=1, power_quantum_watts=1.0)
+        sim = ExecutionDrivenSimulator(chip, EqualBudget(), cfg)
+        problem = sim._build_problem(_fresh_monitors(sim))
+        np.testing.assert_allclose(problem.quanta[1], 1.0)
+
+    def test_true_utility_problem_matches_chip(self, chip):
+        cfg = SimulationConfig(duration_ms=1.0, seed=1, use_monitors=False)
+        sim = ExecutionDrivenSimulator(chip, EqualBudget(), cfg)
+        problem = sim._build_problem(monitors=[])
+        reference = chip.build_problem()
+        np.testing.assert_allclose(problem.capacities, reference.capacities)
+        assert problem.player_names == reference.player_names
+
+
+class TestTraceIntegrity:
+    @pytest.fixture(scope="class")
+    def result(self, chip):
+        cfg = SimulationConfig(duration_ms=5.0, seed=9)
+        return ExecutionDrivenSimulator(chip, EqualBudget(), cfg).run()
+
+    def test_epoch_timestamps(self, result):
+        times = [r.time_ms for r in result.trace.epochs]
+        np.testing.assert_allclose(times, np.arange(5.0))
+
+    def test_dram_latency_at_least_uncontended(self, result, chip):
+        base = chip.cores[0].dram.uncontended_latency_ns()
+        for record in result.trace.epochs:
+            assert record.dram_latency_ns >= base - 1e-9
+
+    def test_power_within_chip_budget(self, result, chip):
+        for record in result.trace.epochs:
+            # Temperature excursions can push leakage slightly past the
+            # nominal budget; the market keeps dynamic power in line.
+            assert record.powers_w.sum() <= chip.config.power_budget_watts * 1.1
+
+    def test_alone_reference_positive(self, result):
+        assert np.all(result.alone_instructions > 0.0)

@@ -1,0 +1,54 @@
+"""Simulation trace aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.sim import EpochRecord, SimulationTrace
+
+
+def _record(epoch, instr, power, temp=70.0):
+    n = len(instr)
+    return EpochRecord(
+        epoch=epoch,
+        time_ms=float(epoch),
+        extras=np.zeros((n, 2)),
+        cache_occupancy=np.full(n, 1.0),
+        frequencies_ghz=np.full(n, 2.0),
+        instructions=np.array(instr, dtype=float),
+        powers_w=np.array(power, dtype=float),
+        temperatures_c=np.full(n, temp),
+        dram_latency_ns=50.0,
+        market_iterations=3,
+        market_converged=True,
+    )
+
+
+class TestSimulationTrace:
+    def test_total_instructions(self):
+        trace = SimulationTrace()
+        trace.append(_record(0, [1.0, 2.0], [5.0, 5.0]))
+        trace.append(_record(1, [3.0, 4.0], [5.0, 5.0]))
+        np.testing.assert_allclose(trace.total_instructions(), [4.0, 6.0])
+
+    def test_mean_power(self):
+        trace = SimulationTrace()
+        trace.append(_record(0, [1.0], [4.0]))
+        trace.append(_record(1, [1.0], [8.0]))
+        assert trace.mean_power() == pytest.approx(6.0)
+
+    def test_peak_temperature(self):
+        trace = SimulationTrace()
+        trace.append(_record(0, [1.0], [4.0], temp=60.0))
+        trace.append(_record(1, [1.0], [4.0], temp=85.0))
+        assert trace.peak_temperature() == 85.0
+
+    def test_mean_allocation_shape(self):
+        trace = SimulationTrace()
+        trace.append(_record(0, [1.0, 1.0], [4.0, 4.0]))
+        assert trace.mean_allocation().shape == (2, 2)
+
+    def test_market_iterations(self):
+        trace = SimulationTrace()
+        trace.append(_record(0, [1.0], [4.0]))
+        assert trace.market_iterations() == [3]
+        assert trace.num_epochs == 1

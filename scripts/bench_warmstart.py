@@ -1,0 +1,108 @@
+"""Cold-vs-warm equilibrium benchmark, as a plain script.
+
+Runs :func:`repro.analysis.run_warmstart_bench` (the same measurement as
+``pytest benchmarks/test_warmstart.py``) and writes the result to
+``BENCH_warmstart.json`` at the repository root.
+
+Usage::
+
+    python scripts/bench_warmstart.py            # default 8-core scale
+    python scripts/bench_warmstart.py --full     # 64-core Fig-5 scale
+    python scripts/bench_warmstart.py --check    # CI smoke: exit 1 when
+                                                 # warm fails to beat cold
+
+``--check`` verifies the two headline claims: warm-started epochs use
+strictly fewer total equilibrium iterations than cold starts, and the
+warm restart matches the cold equilibrium on the static reference
+problem within the paper's 1% price tolerance.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import run_warmstart_bench  # noqa: E402
+from repro.cmp import cmp_8core, cmp_64core  # noqa: E402
+from repro.sim import SimulationConfig  # noqa: E402
+
+FIG5_CATEGORIES = ("CPBN", "CCPP", "CPBB", "BBNN", "BBPN", "BBCN")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full", action="store_true", help="64-core, all Fig-5 categories, 15 ms"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless warm beats cold (CI smoke gate)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_warmstart.json",
+        help="where to write the JSON (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    if args.full:
+        data = run_warmstart_bench(
+            config=cmp_64core(),
+            categories=FIG5_CATEGORIES,
+            sim_config=SimulationConfig(duration_ms=15.0, seed=2016),
+        )
+    else:
+        data = run_warmstart_bench()
+    elapsed = time.time() - t0
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    reference, overall = data["reference"], data["overall"]
+    print(f"warm-start bench finished in {elapsed:.1f}s -> {args.output}")
+    print(
+        f"reference {reference['bundle']}: cold {reference['cold_iterations']} it, "
+        f"warm {reference['warm_iterations']} it, "
+        f"price divergence {reference['max_price_divergence']:.4f}"
+    )
+    for name, m in data["mechanisms"].items():
+        print(
+            f"  {name:12s} iterations {m['cold_iterations']:4d} -> "
+            f"{m['warm_iterations']:4d} ({m['iteration_savings']:.0%} saved), "
+            f"wall-clock x{m['wallclock_speedup']:.2f}, "
+            f"alloc divergence max {m['max_divergence']:.4f}"
+        )
+    print(
+        f"overall: {overall['cold_iterations']} -> {overall['warm_iterations']} "
+        f"iterations ({overall['iteration_savings']:.0%} saved)"
+    )
+
+    if args.check:
+        failures = []
+        if overall["warm_iterations"] >= overall["cold_iterations"]:
+            failures.append(
+                "warm iterations did not beat cold "
+                f"({overall['warm_iterations']} >= {overall['cold_iterations']})"
+            )
+        if reference["warm_iterations"] >= reference["cold_iterations"]:
+            failures.append("warm restart did not beat cold on the reference problem")
+        if reference["max_price_divergence"] > 0.01:
+            failures.append(
+                "reference warm equilibrium off cold by "
+                f"{reference['max_price_divergence']:.4f} > 1% price tolerance"
+            )
+        for message in failures:
+            print(f"CHECK FAILED: {message}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

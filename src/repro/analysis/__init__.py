@@ -26,6 +26,7 @@ from .validation import (
     futility_convergence_study,
     umon_error_study,
 )
+from .warmstart_bench import ColdVsWarmProbe, EpochProbeRecord, run_warmstart_bench
 
 __all__ = [
     "AppCharacterization",
@@ -54,4 +55,7 @@ __all__ = [
     "umon_error_study",
     "futility_convergence_study",
     "dram_contention_study",
+    "ColdVsWarmProbe",
+    "EpochProbeRecord",
+    "run_warmstart_bench",
 ]

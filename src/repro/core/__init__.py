@@ -2,7 +2,7 @@
 MUR/MBR metrics, theoretical bounds, and the ReBudget reassignment loop."""
 
 from .bidding import BiddingStrategy, ExactBidder, HillClimbBidder, PriceTakingBidder
-from .equilibrium import EquilibriumResult, find_equilibrium
+from .equilibrium import EquilibriumResult, WarmStart, find_equilibrium
 from .market import Market, MarketState
 from .mechanisms import (
     AllocationMechanism,
@@ -13,7 +13,9 @@ from .mechanisms import (
     EqualShare,
     MaxEfficiency,
     MechanismResult,
+    MechanismWarmState,
     ReBudgetMechanism,
+    clamp_to_per_player_caps,
     standard_mechanism_suite,
 )
 from .metrics import (
@@ -53,6 +55,7 @@ __all__ = [
     "ExactBidder",
     "PriceTakingBidder",
     "EquilibriumResult",
+    "WarmStart",
     "find_equilibrium",
     "efficiency",
     "envy_freeness",
@@ -77,6 +80,7 @@ __all__ = [
     "max_efficiency_allocation",
     "AllocationProblem",
     "MechanismResult",
+    "MechanismWarmState",
     "AllocationMechanism",
     "EqualShare",
     "EqualBudget",
@@ -84,5 +88,6 @@ __all__ = [
     "ReBudgetMechanism",
     "MaxEfficiency",
     "ElasticitiesProportional",
+    "clamp_to_per_player_caps",
     "standard_mechanism_suite",
 ]

@@ -6,10 +6,11 @@ budget (optimization problem 3 in the paper).  Two strategies are
 provided:
 
 * :class:`HillClimbBidder` — the paper's Section 4.1.2 procedure: start
-  from an equal split, repeatedly move an exponentially shrinking amount
-  ``S`` of money from the resource with the lowest marginal utility to
-  the one with the highest, stopping when marginals agree within 5% or
-  ``S`` drops below 1% of the budget.
+  from an equal split (or, warm-started, from the previous bid vector),
+  repeatedly move an exponentially shrinking amount ``S`` of money from
+  the resource with the lowest marginal utility to the one with the
+  highest, stopping when marginals agree within 5% or ``S`` drops below
+  1% of the budget.
 * :class:`ExactBidder` — a numerically exact best response found by
   projected gradient ascent with backtracking; used as an ablation
   reference for how much the cheap hill climb loses.
@@ -41,8 +42,40 @@ class BiddingStrategy(abc.ABC):
         others: np.ndarray,
         capacities: np.ndarray,
         current_bids: np.ndarray | None = None,
+        step_hint: float | None = None,
     ) -> np.ndarray:
-        """Return the player's new bid vector (length M, sums to budget)."""
+        """Return the player's new bid vector (length M, sums to budget).
+
+        ``current_bids`` is the player's bid vector from the previous
+        round (or epoch); strategies that support warm starts begin the
+        search there instead of from an equal split.  ``step_hint`` is
+        how far the player's bids moved in the previous round — warm
+        climbs size their first step to it so a near-converged player
+        does not re-explore the whole simplex.
+        """
+
+    @staticmethod
+    def warm_start_bids(
+        current_bids: np.ndarray | None, budget: float, num_resources: int
+    ) -> np.ndarray | None:
+        """Validate and normalize a previous bid vector for reuse.
+
+        Returns ``None`` — caller falls back to an equal split — when the
+        vector is absent, malformed, all-zero, or was computed for a
+        different budget (a budget change means the old split is stale).
+        """
+        if current_bids is None:
+            return None
+        bids = np.asarray(current_bids, dtype=float)
+        if bids.shape != (num_resources,) or not np.all(np.isfinite(bids)):
+            return None
+        bids = np.maximum(bids, 0.0)
+        total = float(bids.sum())
+        if total <= 0.0:
+            return None
+        if abs(total - budget) > 1e-6 * max(budget, total):
+            return None
+        return bids * (budget / total)
 
     @staticmethod
     def player_lambda(
@@ -82,6 +115,28 @@ class HillClimbBidder(BiddingStrategy):
         self.lambda_tolerance = lambda_tolerance
         self.step_stop_fraction = step_stop_fraction
 
+    def _stale(
+        self,
+        bids: np.ndarray,
+        utility: UtilityFunction,
+        others: np.ndarray,
+        capacities: np.ndarray,
+    ) -> bool:
+        """True when ``bids`` is far from this player's optimum.
+
+        The climb moves at most ~2x its initial step per call, so a
+        hint-sized step cannot recover from a large utility shift; a
+        marginal imbalance beyond twice the stop tolerance means the
+        seed is stale and the climb needs full mobility.
+        """
+        marginals = marginal_utility_of_bids(utility, bids, others, capacities)
+        donors = np.where(bids > 1e-12)[0]
+        if donors.size == 0:
+            return False
+        hi = float(marginals.max())
+        lo = float(marginals[donors].min())
+        return hi > 0.0 and hi - lo > 2.0 * self.lambda_tolerance * hi
+
     def optimize(
         self,
         utility: UtilityFunction,
@@ -89,6 +144,7 @@ class HillClimbBidder(BiddingStrategy):
         others: np.ndarray,
         capacities: np.ndarray,
         current_bids: np.ndarray | None = None,
+        step_hint: float | None = None,
     ) -> np.ndarray:
         num_resources = capacities.size
         if budget <= 0.0:
@@ -96,10 +152,26 @@ class HillClimbBidder(BiddingStrategy):
         if num_resources == 1:
             return np.array([budget])
 
-        # Step 1: equal split; S is half of one bid.
-        bids = np.full(num_resources, budget / num_resources)
-        step = budget / (2.0 * num_resources)
+        cold_step = budget / (2.0 * num_resources)
         min_step = self.step_stop_fraction * budget
+
+        # Step 1: start from the previous bids when they are reusable
+        # (same budget), otherwise from an equal split; S is half of one
+        # equal-split bid, shrunk to the last move for warm starts.
+        warm = self.warm_start_bids(current_bids, budget, num_resources)
+        if warm is None:
+            bids = np.full(num_resources, budget / num_resources)
+            step = cold_step
+        else:
+            bids = warm
+            if step_hint is None or self._stale(warm, utility, others, capacities):
+                # No hint, or the seed's marginals are badly out of
+                # balance (the problem shifted under us): a hint-sized
+                # step cannot cover the distance, so climb at full
+                # mobility from the warm point.
+                step = cold_step
+            else:
+                step = float(np.clip(step_hint, 2.0 * min_step, cold_step))
 
         while step >= min_step:
             marginals = marginal_utility_of_bids(utility, bids, others, capacities)
@@ -147,6 +219,7 @@ class ExactBidder(BiddingStrategy):
         others: np.ndarray,
         capacities: np.ndarray,
         current_bids: np.ndarray | None = None,
+        step_hint: float | None = None,
     ) -> np.ndarray:
         num_resources = capacities.size
         if budget <= 0.0:
@@ -211,6 +284,7 @@ class PriceTakingBidder(BiddingStrategy):
         others: np.ndarray,
         capacities: np.ndarray,
         current_bids: np.ndarray | None = None,
+        step_hint: float | None = None,
     ) -> np.ndarray:
         num_resources = capacities.size
         if budget <= 0.0:
@@ -225,10 +299,14 @@ class PriceTakingBidder(BiddingStrategy):
             if current_bids is not None
             else np.full(num_resources, budget / num_resources)
         )
-        prices = (others + previous) / capacities
+        prices = (others + np.maximum(np.asarray(previous, dtype=float), 0.0)) / capacities
         prices = np.maximum(prices, 1e-12)
 
-        bids = np.full(num_resources, budget / num_resources)
+        # The climb starts from the same bids the prices were derived
+        # from: restarting from an equal split would optimize bids that
+        # are inconsistent with the prices assumed above.
+        warm = self.warm_start_bids(current_bids, budget, num_resources)
+        bids = warm if warm is not None else np.full(num_resources, budget / num_resources)
         step = budget / (2.0 * num_resources)
         min_step = self.step_stop_fraction * budget
         while step >= min_step:

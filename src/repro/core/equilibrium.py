@@ -6,6 +6,22 @@ detected globally by monitoring prices: the market is declared converged
 when every resource price fluctuates within 1% between rounds (the
 paper's criterion).  A fail-safe terminates the search after 30 rounds,
 as in Section 6.4.
+
+Warm starts
+-----------
+The paper re-runs the market every millisecond, and monitored utilities
+barely move between consecutive epochs, so restarting every search from
+an equal split discards an almost-correct answer.  Every search
+therefore returns a :class:`WarmStart` — the final bid matrix plus the
+budgets, prices, and per-player last-move sizes it was produced under —
+which the next search can consume via ``find_equilibrium(...,
+warm_start=...)``.  Warm bids are rescaled row-wise when budgets
+changed, each player's hill climb resumes from its previous bids with a
+step sized to its last move, and the loop's price-stability criterion
+fires on the first round when the warm bids still clear the market —
+so a warm-started search over an unchanged (or slowly drifting) problem
+terminates after a single verification round instead of a full cold
+search.
 """
 
 from __future__ import annotations
@@ -19,13 +35,80 @@ from .bidding import BiddingStrategy, HillClimbBidder
 from .market import Market, MarketState
 from .player import marginal_utility_of_bids
 
-__all__ = ["EquilibriumResult", "find_equilibrium"]
+__all__ = ["WarmStart", "EquilibriumResult", "find_equilibrium"]
 
 #: Paper's global price-convergence tolerance (Section 2.1).
 PRICE_TOLERANCE = 0.01
 
 #: Paper's fail-safe iteration cap (Section 6.4).
 MAX_ITERATIONS = 30
+
+
+@dataclass
+class WarmStart:
+    """Reusable end-state of an equilibrium search.
+
+    Attributes
+    ----------
+    bids:
+        Final (N, M) bid matrix.
+    budgets:
+        Per-player budgets the bids were computed under.
+    prices:
+        Final resource prices.
+    last_moves:
+        Per-player largest single-resource bid change in the final
+        round — the natural first-step size for resuming each player's
+        hill climb.
+    converged:
+        Whether the search that produced this state met the price
+        criterion (a non-converged state is still a usable seed).
+    anchor_prices:
+        Prices at the last *full* (multi-round) search in the warm
+        chain.  A warm search may accept its seed after a single
+        verification round only while prices stay within the tolerance
+        of this anchor; once per-epoch drift accumulates past it, a
+        real re-search is forced and the anchor moves.  This bounds the
+        total lag of a warm chain behind a cold re-solve to roughly the
+        price tolerance, instead of letting sub-tolerance drift
+        compound every epoch.
+    """
+
+    bids: np.ndarray
+    budgets: np.ndarray
+    prices: np.ndarray
+    last_moves: Optional[np.ndarray] = None
+    converged: bool = False
+    anchor_prices: Optional[np.ndarray] = None
+
+    @property
+    def num_players(self) -> int:
+        return self.bids.shape[0]
+
+    @property
+    def num_resources(self) -> int:
+        return self.bids.shape[1]
+
+    def compatible_with(self, market: Market) -> bool:
+        """True when this state has ``market``'s player/resource shape."""
+        return self.bids.shape == (market.num_players, market.num_resources)
+
+    def bids_for(self, budgets: np.ndarray) -> Optional[np.ndarray]:
+        """The stored bid matrix rescaled row-wise to new ``budgets``.
+
+        Players whose budget changed keep their *split* but spend the
+        new amount (the ReBudget re-seeding idiom); players with no
+        usable previous bids fall back to an equal split.  Returns
+        ``None`` when the player count does not match.
+        """
+        budgets = np.asarray(budgets, dtype=float)
+        if budgets.shape != (self.num_players,):
+            return None
+        bids = np.maximum(np.asarray(self.bids, dtype=float), 0.0)
+        sums = bids.sum(axis=1)
+        safe = np.where(sums > 0.0, sums, 1.0)
+        equal = np.tile(budgets[:, None] / self.num_resources, (1, self.num_resources))
+        return np.where(sums[:, None] > 0.0, bids * (budgets / safe)[:, None], equal)
 
 
 @dataclass
@@ -48,6 +131,11 @@ class EquilibriumResult:
         30-round fail-safe fired).
     price_history:
         Price vector after every round, for convergence studies.
+    warm_start:
+        Reusable end-state for seeding the next search (see
+        :class:`WarmStart`); always populated.
+    warm_started:
+        Whether this search was itself seeded from previous bids.
     """
 
     state: MarketState
@@ -56,6 +144,8 @@ class EquilibriumResult:
     iterations: int
     converged: bool
     price_history: List[np.ndarray] = field(default_factory=list)
+    warm_start: Optional[WarmStart] = None
+    warm_started: bool = False
 
     @property
     def efficiency(self) -> float:
@@ -67,6 +157,7 @@ def find_equilibrium(
     market: Market,
     bidder: Optional[BiddingStrategy] = None,
     initial_bids: Optional[np.ndarray] = None,
+    warm_start: Optional[WarmStart] = None,
     max_iterations: int = MAX_ITERATIONS,
     price_tolerance: float = PRICE_TOLERANCE,
     update: str = "jacobi",
@@ -81,8 +172,15 @@ def find_equilibrium(
         Bidding strategy shared by all players; defaults to the paper's
         hill climb.
     initial_bids:
-        Warm-start bid matrix; defaults to every player splitting its
-        budget equally (the paper's initialization).
+        Explicit warm-start bid matrix; defaults to every player
+        splitting its budget equally (the paper's initialization).
+    warm_start:
+        End-state of a previous search (``result.warm_start``).  Its
+        bids are rescaled to the market's current budgets and each
+        player's climb resumes with a step sized to its last move.
+        Ignored when ``initial_bids`` is given or the player/resource
+        shape does not match; when the warm bids still price-converge,
+        the loop exits after a single verification round.
     update:
         ``"jacobi"`` — all players re-bid against the same broadcast
         prices (the paper's distributed semantics); ``"gauss-seidel"`` —
@@ -96,7 +194,19 @@ def find_equilibrium(
         raise ValueError(f"unknown update mode {update!r}")
 
     capacities = market.capacities
-    bids = market.equal_split_bids() if initial_bids is None else np.array(initial_bids, dtype=float)
+    last_moves: Optional[np.ndarray] = None
+    anchor: Optional[np.ndarray] = None
+    warm_started = False
+    if initial_bids is not None:
+        bids = np.array(initial_bids, dtype=float)
+        warm_started = True
+    elif warm_start is not None and warm_start.compatible_with(market):
+        bids = warm_start.bids_for(market.budgets)
+        last_moves = warm_start.last_moves
+        anchor = warm_start.anchor_prices
+        warm_started = True
+    else:
+        bids = market.equal_split_bids()
     prices = market.prices(bids)
     price_history: List[np.ndarray] = [prices.copy()]
 
@@ -105,19 +215,35 @@ def find_equilibrium(
     for iterations in range(1, max_iterations + 1):
         totals = bids.sum(axis=0)
         previous_bids = bids
+        # Cold first rounds get no current bids (pristine paper
+        # semantics: climb from the equal split at full step); every
+        # later round — and every warm-started round — resumes from the
+        # player's previous bids with a step sized to its last move.
+        resume = warm_started or iterations > 1
         if update == "jacobi":
             new_bids = np.empty_like(bids)
             for i, player in enumerate(market.players):
                 others = totals - bids[i]
                 new_bids[i] = bidder.optimize(
-                    player.utility, player.budget, others, capacities, current_bids=bids[i]
+                    player.utility,
+                    player.budget,
+                    others,
+                    capacities,
+                    current_bids=bids[i] if resume else None,
+                    step_hint=None if last_moves is None else float(last_moves[i]),
                 )
             bids = new_bids
         else:
+            bids = bids.copy()
             for i, player in enumerate(market.players):
                 others = bids.sum(axis=0) - bids[i]
                 bids[i] = bidder.optimize(
-                    player.utility, player.budget, others, capacities, current_bids=bids[i]
+                    player.utility,
+                    player.budget,
+                    others,
+                    capacities,
+                    current_bids=bids[i] if resume else None,
+                    step_hint=None if last_moves is None else float(last_moves[i]),
                 )
 
         new_prices = market.prices(bids)
@@ -140,8 +266,23 @@ def find_equilibrium(
         if update == "jacobi" and (oscillating or slow):
             bids = 0.5 * (previous_bids + bids)
             new_prices = market.prices(bids)
+        last_moves = np.abs(bids - previous_bids).max(axis=1)
         price_history.append(new_prices.copy())
         if _prices_stable(prices, new_prices, price_tolerance):
+            if (
+                warm_started
+                and iterations == 1
+                and anchor is not None
+                and not _prices_stable(anchor, new_prices, price_tolerance)
+            ):
+                # The seed is round-over-round stable, but drift since
+                # the last full search has accumulated past the
+                # tolerance: refuse the cheap acceptance and re-search
+                # with cold-sized steps from the current bids.
+                anchor = None
+                last_moves = None
+                prices = new_prices
+                continue
             prices = new_prices
             converged = True
             break
@@ -167,6 +308,21 @@ def find_equilibrium(
         iterations=iterations,
         converged=converged,
         price_history=price_history,
+        warm_start=WarmStart(
+            bids=bids.copy(),
+            budgets=market.budgets,
+            prices=prices.copy(),
+            last_moves=None if last_moves is None else last_moves.copy(),
+            converged=converged,
+            # A single verification round keeps the previous anchor; any
+            # real (re-)search plants a new one at its own end point.
+            anchor_prices=(
+                anchor.copy()
+                if (warm_started and iterations == 1 and anchor is not None)
+                else prices.copy()
+            ),
+        ),
+        warm_started=warm_started,
     )
 
 

@@ -26,7 +26,7 @@ import numpy as np
 from ..exceptions import MarketConfigurationError
 from ..utility.base import UtilityFunction
 from .bidding import BiddingStrategy, HillClimbBidder
-from .equilibrium import EquilibriumResult, find_equilibrium
+from .equilibrium import EquilibriumResult, WarmStart, find_equilibrium
 from .market import Market
 from .metrics import (
     efficiency as efficiency_metric,
@@ -42,6 +42,7 @@ from .resources import Resource, ResourceSet
 __all__ = [
     "AllocationProblem",
     "MechanismResult",
+    "MechanismWarmState",
     "AllocationMechanism",
     "EqualShare",
     "EqualBudget",
@@ -49,6 +50,7 @@ __all__ = [
     "ReBudgetMechanism",
     "MaxEfficiency",
     "ElasticitiesProportional",
+    "clamp_to_per_player_caps",
     "standard_mechanism_suite",
 ]
 
@@ -127,14 +129,110 @@ class MechanismResult:
     details: Dict[str, object] = field(default_factory=dict)
 
 
+def clamp_to_per_player_caps(
+    allocations: np.ndarray, per_player_caps: np.ndarray
+) -> np.ndarray:
+    """Clamp each player's allocation at its cap, redistributing surplus.
+
+    Surplus freed from capped players is handed to the uncapped ones in
+    proportion to their pre-clamp allocations (equally when every
+    uncapped player holds zero), iterating per resource until nobody
+    exceeds its cap.  Surplus that no player can absorb is left
+    unallocated — capacity beyond every cap yields no utility by
+    construction of the caps.
+    """
+    alloc = np.array(allocations, dtype=float)
+    caps = np.asarray(per_player_caps, dtype=float)
+    if caps.shape != alloc.shape:
+        raise MarketConfigurationError(
+            f"per-player caps shape {caps.shape} != allocations shape {alloc.shape}"
+        )
+    num_players, num_resources = alloc.shape
+    for j in range(num_resources):
+        column = alloc[:, j]
+        cap = caps[:, j]
+        capped = np.zeros(num_players, dtype=bool)
+        for _ in range(num_players):
+            over = (column > cap + 1e-12) & ~capped
+            if not over.any():
+                break
+            surplus = float((column[over] - cap[over]).sum())
+            column[over] = cap[over]
+            capped |= over
+            receivers = ~capped
+            if not receivers.any() or surplus <= 0.0:
+                break
+            weights = column[receivers]
+            total = float(weights.sum())
+            if total > 0.0:
+                column[receivers] += surplus * weights / total
+            else:
+                column[receivers] += surplus / int(receivers.sum())
+        alloc[:, j] = column
+    return alloc
+
+
+@dataclass
+class MechanismWarmState:
+    """Epoch-to-epoch state a stateful mechanism carries between calls.
+
+    The warm start is only reusable when the next problem has the same
+    players over the same resources; the names double as a cheap
+    identity check that catches context switches even if the caller
+    forgets to invalidate.
+    """
+
+    warm_start: WarmStart
+    player_names: tuple
+    resource_names: tuple
+
+    def matches(self, problem: "AllocationProblem") -> bool:
+        return (
+            tuple(self.player_names) == tuple(problem.player_names)
+            and tuple(self.resource_names) == tuple(problem.resource_names)
+            and self.warm_start.bids.shape
+            == (problem.num_players, problem.num_resources)
+        )
+
+
 class AllocationMechanism(abc.ABC):
-    """Common interface for all allocation mechanisms."""
+    """Common interface for all allocation mechanisms.
+
+    Mechanisms that run the market carry an optional persistent
+    ``warm_state`` so consecutive calls on the same player/resource set
+    (the simulator's 1 ms epochs) resume from the previous equilibrium
+    instead of an equal split.  Callers that change the underlying
+    problem out from under the mechanism — e.g. a context switch — must
+    call :meth:`reset_warm_state`.
+    """
 
     name: str = "mechanism"
+    warm_state: Optional[MechanismWarmState] = None
 
     @abc.abstractmethod
     def allocate(self, problem: AllocationProblem) -> MechanismResult:
         """Solve ``problem`` and return the allocation with its metrics."""
+
+    def reset_warm_state(self) -> None:
+        """Drop any carried equilibrium state (e.g. on a context switch)."""
+        self.warm_state = None
+
+    def _warm_start_for(self, problem: AllocationProblem) -> Optional[WarmStart]:
+        state = self.warm_state
+        if state is None or not state.matches(problem):
+            return None
+        return state.warm_start
+
+    def _store_warm_state(
+        self, problem: AllocationProblem, warm_start: Optional[WarmStart]
+    ) -> None:
+        if warm_start is None:
+            return
+        self.warm_state = MechanismWarmState(
+            warm_start=warm_start,
+            player_names=tuple(problem.player_names),
+            resource_names=tuple(problem.resource_names),
+        )
 
     def _finish(
         self,
@@ -142,6 +240,10 @@ class AllocationMechanism(abc.ABC):
         allocations: np.ndarray,
         **extra,
     ) -> MechanismResult:
+        if problem.per_player_caps is not None:
+            allocations = clamp_to_per_player_caps(
+                allocations, problem.per_player_caps
+            )
         utilities = np.array(
             [u.value(allocations[i]) for i, u in enumerate(problem.utilities)]
         )
@@ -167,7 +269,13 @@ class EqualShare(AllocationMechanism):
 
 
 class EqualBudget(AllocationMechanism):
-    """Market equilibrium with identical budgets (XChange's default)."""
+    """Market equilibrium with identical budgets (XChange's default).
+
+    ``warm=True`` (the default) carries the previous call's equilibrium
+    bids across calls on the same player/resource set, so the epoch
+    simulator's per-millisecond re-runs resume from an almost-correct
+    answer instead of re-searching from an equal split.
+    """
 
     name = "EqualBudget"
 
@@ -175,19 +283,28 @@ class EqualBudget(AllocationMechanism):
         self,
         budget: float = DEFAULT_BUDGET,
         bidder: Optional[BiddingStrategy] = None,
+        warm: bool = True,
     ):
         self.budget = budget
         self.bidder = bidder or HillClimbBidder()
+        self.warm = warm
+        self.warm_state = None
 
     def allocate(self, problem: AllocationProblem) -> MechanismResult:
         market = problem.build_market([self.budget] * problem.num_players)
-        eq = find_equilibrium(market, bidder=self.bidder)
+        eq = find_equilibrium(
+            market,
+            bidder=self.bidder,
+            warm_start=self._warm_start_for(problem) if self.warm else None,
+        )
+        if self.warm:
+            self._store_warm_state(problem, eq.warm_start)
         return self._result_from_equilibrium(problem, market, eq)
 
     def _result_from_equilibrium(
         self, problem: AllocationProblem, market: Market, eq: EquilibriumResult
     ) -> MechanismResult:
-        return self._finish(
+        result = self._finish(
             problem,
             eq.state.allocations,
             iterations=eq.iterations,
@@ -197,6 +314,8 @@ class EqualBudget(AllocationMechanism):
             mur=market_utility_range(eq.lambdas),
             mbr=market_budget_range(market.budgets),
         )
+        result.details["prices"] = eq.state.prices.copy()
+        return result
 
 
 class BalancedBudget(EqualBudget):
@@ -228,7 +347,15 @@ class BalancedBudget(EqualBudget):
             # Keep a small floor so no player is priced out entirely.
             budgets = self.budget * np.maximum(potentials / top, 0.05)
         market = problem.build_market(budgets)
-        eq = find_equilibrium(market, bidder=self.bidder)
+        # The warm bids were computed for the previous epoch's budgets;
+        # find_equilibrium rescales each row to the fresh ones.
+        eq = find_equilibrium(
+            market,
+            bidder=self.bidder,
+            warm_start=self._warm_start_for(problem) if self.warm else None,
+        )
+        if self.warm:
+            self._store_warm_state(problem, eq.warm_start)
         return self._result_from_equilibrium(problem, market, eq)
 
 
@@ -247,6 +374,7 @@ class ReBudgetMechanism(AllocationMechanism):
         budget: float = DEFAULT_BUDGET,
         bidder: Optional[BiddingStrategy] = None,
         lambda_threshold: float = 0.5,
+        warm: bool = True,
     ):
         self.config = ReBudgetConfig(
             initial_budget=budget,
@@ -255,6 +383,8 @@ class ReBudgetMechanism(AllocationMechanism):
             lambda_threshold=lambda_threshold,
         )
         self.bidder = bidder or HillClimbBidder()
+        self.warm = warm
+        self.warm_state = None
         if step is not None:
             self.name = f"ReBudget-{step:g}"
         else:
@@ -264,7 +394,17 @@ class ReBudgetMechanism(AllocationMechanism):
         market = problem.build_market(
             [self.config.initial_budget] * problem.num_players
         )
-        rebudget: ReBudgetResult = run_rebudget(market, self.config, bidder=self.bidder)
+        rebudget: ReBudgetResult = run_rebudget(
+            market,
+            self.config,
+            bidder=self.bidder,
+            warm_start=self._warm_start_for(problem) if self.warm else None,
+        )
+        if self.warm:
+            # Budgets restart from an equal split every epoch, so the
+            # right seed for the next epoch is this epoch's *first*
+            # (equal-budget) equilibrium, not the post-cut final one.
+            self._store_warm_state(problem, rebudget.rounds[0].equilibrium.warm_start)
         eq = rebudget.final_equilibrium
         result = self._finish(
             problem,
@@ -277,6 +417,7 @@ class ReBudgetMechanism(AllocationMechanism):
             mbr=rebudget.mbr,
         )
         result.details["rebudget"] = rebudget
+        result.details["prices"] = eq.state.prices.copy()
         return result
 
 

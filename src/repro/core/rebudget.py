@@ -25,7 +25,7 @@ import numpy as np
 
 from ..exceptions import MarketConfigurationError
 from .bidding import BiddingStrategy, HillClimbBidder
-from .equilibrium import MAX_ITERATIONS, EquilibriumResult, find_equilibrium
+from .equilibrium import MAX_ITERATIONS, EquilibriumResult, WarmStart, find_equilibrium
 from .market import Market
 from .metrics import market_budget_range, market_utility_range
 from .theory import ef_lower_bound, min_mbr_for_envy_freeness
@@ -141,6 +141,7 @@ def run_rebudget(
     market: Market,
     config: Optional[ReBudgetConfig] = None,
     bidder: Optional[BiddingStrategy] = None,
+    warm_start: Optional[WarmStart] = None,
 ) -> ReBudgetResult:
     """Execute the ReBudget loop on ``market``.
 
@@ -148,6 +149,11 @@ def run_rebudget(
     ``config.initial_budget`` for everyone and end at the reassigned
     values.  The result records every intermediate round so the
     efficiency/fairness trajectory can be inspected.
+
+    ``warm_start`` seeds the *first* round's equilibrium search — in the
+    epoch simulator this is the previous epoch's equal-budget
+    equilibrium.  Every subsequent round is seeded from the previous
+    round's equilibrium, rescaled to the post-cut budgets.
     """
     config = config or ReBudgetConfig()
     bidder = bidder or HillClimbBidder()
@@ -159,13 +165,13 @@ def run_rebudget(
         player.budget = initial_budget
 
     result = ReBudgetResult()
-    warm_bids: Optional[np.ndarray] = None
+    round_warm: Optional[WarmStart] = warm_start
     step_exhausted = False
     for round_index in range(config.max_rounds):
         equilibrium = find_equilibrium(
             market,
             bidder=bidder,
-            initial_bids=warm_bids,
+            warm_start=round_warm,
             max_iterations=config.equilibrium_max_iterations,
         )
         lambdas = equilibrium.lambdas
@@ -207,14 +213,9 @@ def run_rebudget(
         if step < min_step:
             step_exhausted = True
 
-        # Warm-start the next equilibrium from the current bids, rescaled
-        # to each player's new budget, which keeps re-convergence fast.
-        warm_bids = equilibrium.state.bids.copy()
-        sums = warm_bids.sum(axis=1)
-        for i, player in enumerate(market.players):
-            if sums[i] > 0:
-                warm_bids[i] *= player.budget / sums[i]
-            else:
-                warm_bids[i] = player.budget / market.num_resources
+        # Warm-start the next equilibrium from this round's end-state;
+        # find_equilibrium rescales the bids to the post-cut budgets,
+        # which keeps re-convergence fast.
+        round_warm = equilibrium.warm_start
 
     return result

@@ -8,7 +8,9 @@ multiprocessor in which
   noisy online miss-curve estimates;
 * the allocation mechanism (EqualBudget, ReBudget, ...) re-runs every
   1 ms epoch on the *monitored* utilities, exactly as Section 4.3
-  piggybacks the market on the kernel's timer interrupt;
+  piggybacks the market on the kernel's timer interrupt — warm-started
+  from the previous epoch's equilibrium bids, and re-searched from
+  scratch whenever a context switch replaces a market player;
 * Futility Scaling slews the physical cache partitions toward the
   market's targets with finite eviction bandwidth;
 * per-core DVFS resolves purchased watts into frequency, with static
@@ -83,6 +85,27 @@ class SimulationConfig:
     #: Scheduled context switches (see :class:`ContextSwitch`).
     context_switches: tuple = ()
 
+    def __post_init__(self) -> None:
+        if not np.isfinite(self.epoch_ms) or self.epoch_ms <= 0.0:
+            raise ValueError(f"epoch_ms must be positive, got {self.epoch_ms!r}")
+        if not np.isfinite(self.duration_ms) or self.duration_ms <= 0.0:
+            raise ValueError(f"duration_ms must be positive, got {self.duration_ms!r}")
+        if self.num_epochs < 1:
+            raise ValueError(
+                f"duration_ms={self.duration_ms!r} rounds to zero epochs of "
+                f"epoch_ms={self.epoch_ms!r}; utilities would be 0/0"
+            )
+        if self.reallocation_period_epochs < 1:
+            raise ValueError(
+                "reallocation_period_epochs must be >= 1, got "
+                f"{self.reallocation_period_epochs!r}"
+            )
+
+    @property
+    def num_epochs(self) -> int:
+        """Epochs in one run; guaranteed >= 1 by construction."""
+        return int(round(self.duration_ms / self.epoch_ms))
+
 
 @dataclass
 class SimulationResult:
@@ -155,6 +178,7 @@ class ExecutionDrivenSimulator:
         """Swap applications whose switch time has arrived."""
         from ..cmp.core_model import CoreModel
 
+        switched = False
         while pending and pending[0].time_ms <= time_ms + 1e-9:
             switch = pending.pop(0)
             i = switch.core_index
@@ -172,6 +196,12 @@ class ExecutionDrivenSimulator:
                 self.chip.config,
                 rng=np.random.default_rng(rng.integers(2**32)),
             )
+            switched = True
+        if switched:
+            # The market player on the switched core changed identity:
+            # its carried bids describe the departed application, so the
+            # next allocation must re-search from scratch.
+            self.mechanism.reset_warm_state()
 
     def run(self) -> SimulationResult:
         cfg = self.config
@@ -179,6 +209,9 @@ class ExecutionDrivenSimulator:
         n = self.num_cores
         rng = np.random.default_rng(cfg.seed)
         pending_switches = sorted(cfg.context_switches, key=lambda s: s.time_ms)
+        # A fresh run must not inherit equilibrium state from a previous
+        # run of the same mechanism instance (possibly on another chip).
+        self.mechanism.reset_warm_state()
 
         monitors = [
             RuntimeMonitor(core, chip_cfg, rng=np.random.default_rng(rng.integers(2**32)))
@@ -202,7 +235,7 @@ class ExecutionDrivenSimulator:
         # equal-share allocation before the first market run.
         self._warmup(monitors, extras, dram_latency)
 
-        num_epochs = int(round(cfg.duration_ms / cfg.epoch_ms))
+        num_epochs = cfg.num_epochs
         alloc_result = None
         for epoch in range(num_epochs):
             time_ms = epoch * cfg.epoch_ms

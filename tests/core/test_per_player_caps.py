@@ -1,0 +1,110 @@
+"""Per-player caps: no mechanism may allocate beyond ``extra_capacity_for``.
+
+Regression for the bug where ``EqualShare`` and
+``ElasticitiesProportional`` ignored ``problem.per_player_caps``,
+handing a player more of a resource than its cap and inflating its
+measured utility relative to the cap-honoring ``MaxEfficiency``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllocationProblem,
+    ElasticitiesProportional,
+    EqualShare,
+    clamp_to_per_player_caps,
+    standard_mechanism_suite,
+)
+from repro.utility import LogUtility
+
+
+class TestClampToPerPlayerCaps:
+    def test_noop_when_under_caps(self):
+        alloc = np.array([[2.0, 1.0], [3.0, 2.0]])
+        caps = np.full((2, 2), 10.0)
+        np.testing.assert_allclose(clamp_to_per_player_caps(alloc, caps), alloc)
+
+    def test_surplus_redistributed_proportionally(self):
+        alloc = np.array([[6.0], [3.0], [1.0]])
+        caps = np.array([[4.0], [10.0], [10.0]])
+        clamped = clamp_to_per_player_caps(alloc, caps)
+        # Player 0 is cut to 4; its surplus of 2 goes 3:1 to the others.
+        np.testing.assert_allclose(clamped[:, 0], [4.0, 4.5, 1.5])
+        assert clamped.sum() == pytest.approx(alloc.sum())
+
+    def test_cascading_redistribution(self):
+        # Redistribution pushes player 1 over its own cap; the second
+        # pass must cut it too and hand the remainder to player 2.
+        alloc = np.array([[8.0], [3.0], [1.0]])
+        caps = np.array([[2.0], [4.0], [10.0]])
+        clamped = clamp_to_per_player_caps(alloc, caps)
+        np.testing.assert_allclose(clamped[:, 0], [2.0, 4.0, 6.0])
+        assert np.all(clamped <= caps + 1e-9)
+
+    def test_unabsorbable_surplus_dropped(self):
+        alloc = np.array([[5.0], [5.0]])
+        caps = np.array([[2.0], [2.0]])
+        clamped = clamp_to_per_player_caps(alloc, caps)
+        np.testing.assert_allclose(clamped[:, 0], [2.0, 2.0])
+
+    def test_zero_allocation_receivers_share_equally(self):
+        alloc = np.array([[6.0], [0.0], [0.0]])
+        caps = np.array([[2.0], [10.0], [10.0]])
+        clamped = clamp_to_per_player_caps(alloc, caps)
+        np.testing.assert_allclose(clamped[:, 0], [2.0, 2.0, 2.0])
+
+    def test_shape_mismatch_rejected(self):
+        from repro.exceptions import MarketConfigurationError
+
+        with pytest.raises(MarketConfigurationError):
+            clamp_to_per_player_caps(np.ones((2, 2)), np.ones((3, 2)))
+
+
+@pytest.fixture
+def capped_problem():
+    """Two resources; player 0's cache cap is far below its equal share."""
+    return AllocationProblem(
+        utilities=[
+            LogUtility([2.0, 0.5], [1.0, 1.0]),
+            LogUtility([0.5, 2.0], [1.0, 1.0]),
+            LogUtility([1.0, 1.0], [1.0, 1.0]),
+        ],
+        capacities=np.array([12.0, 12.0]),
+        resource_names=["cache", "power"],
+        player_names=["a", "b", "c"],
+        quanta=np.array([0.25, 0.25]),
+        per_player_caps=np.array([[1.0, 12.0], [12.0, 2.0], [12.0, 12.0]]),
+    )
+
+
+class TestMechanismsHonorCaps:
+    def test_equal_share_clamps_and_redistributes(self, capped_problem):
+        result = EqualShare().allocate(capped_problem)
+        assert np.all(result.allocations <= capped_problem.per_player_caps + 1e-9)
+        # Equal share would give everyone 4.0 cache; player 0's cap is
+        # 1.0, so the surplus must flow to players 1 and 2.
+        assert result.allocations[0, 0] == pytest.approx(1.0)
+        assert result.allocations[1:, 0].sum() == pytest.approx(11.0)
+
+    def test_elasticities_proportional_clamps(self, capped_problem):
+        result = ElasticitiesProportional().allocate(capped_problem)
+        assert np.all(result.allocations <= capped_problem.per_player_caps + 1e-9)
+
+    def test_no_mechanism_allocates_above_caps(self, capped_problem):
+        for mech in standard_mechanism_suite() + [ElasticitiesProportional()]:
+            result = mech.allocate(capped_problem)
+            assert np.all(
+                result.allocations <= capped_problem.per_player_caps + 1e-6
+            ), mech.name
+
+    def test_capless_problem_unchanged(self):
+        problem = AllocationProblem(
+            utilities=[LogUtility([1.0, 1.0], [1.0, 1.0])] * 2,
+            capacities=np.array([10.0, 10.0]),
+            resource_names=["cache", "power"],
+            player_names=["a", "b"],
+            quanta=np.array([0.25, 0.25]),
+        )
+        result = EqualShare().allocate(problem)
+        np.testing.assert_allclose(result.allocations, np.full((2, 2), 5.0))

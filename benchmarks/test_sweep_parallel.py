@@ -1,0 +1,73 @@
+"""Sweep executor: serial-vs-parallel wall-clock and determinism.
+
+Two claims, measured by :func:`repro.analysis.run_sweep_bench`:
+
+* **Determinism** — the worker pool must be invisible in the results:
+  every ``BundleScore`` of the parallel run (efficiency, envy-freeness,
+  iterations, and the full allocation matrices) is identical to the
+  serial run's, with zero isolated cell failures.  Asserted
+  unconditionally — it holds on any host.
+* **Speedup** — sharding the (bundle, mechanism) cells over 4 workers
+  cuts wall-clock by at least 2x.  This one needs free CPUs: a pool
+  time-sliced onto fewer cores than workers cannot beat serial, so the
+  assertion only applies when the host exposes >= 4 usable CPUs; the
+  measured number and the host context are archived either way.
+
+The measured numbers are archived to ``BENCH_sweep_parallel.json`` at
+the repository root.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import FULL_SCALE
+from repro.analysis import run_sweep_bench
+from repro.cmp import cmp_8core, cmp_64core
+from repro.workloads import BUNDLE_CATEGORIES
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_sweep_parallel.json"
+
+
+def test_sweep_parallel_speedup_and_determinism(benchmark, report):
+    data = benchmark.pedantic(
+        run_sweep_bench,
+        kwargs={
+            "config": cmp_64core() if FULL_SCALE else cmp_8core(),
+            "categories": BUNDLE_CATEGORIES if FULL_SCALE else ("CPBN", "BBPN"),
+            "bundles_per_category": 3,
+            "workers": 4,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    BENCH_JSON.write_text(json.dumps(data, indent=2) + "\n")
+
+    assert data["identical"], (
+        f"parallel sweep diverged from serial by {data['max_abs_divergence']:.3g}"
+    )
+    assert data["max_abs_divergence"] == 0.0
+    assert data["failures"] == 0
+
+    machine = data["machine"]
+    if machine["usable_cpus"] >= 4:
+        assert data["speedup"] >= 2.0, (
+            f"expected >= 2x with 4 workers on {machine['usable_cpus']} CPUs, "
+            f"got x{data['speedup']:.2f}"
+        )
+
+    sweep = data["sweep"]
+    report(
+        "\n".join(
+            [
+                "parallel sweep bench (serial vs 4-worker pool)",
+                f"shape: {sweep['cells']} cells, {sweep['num_cores']}-core chip, "
+                f"categories {','.join(sweep['categories'])}",
+                f"serial {data['serial']['wall_s']:.2f}s -> "
+                f"parallel {data['parallel']['wall_s']:.2f}s "
+                f"(x{data['speedup']:.2f} on "
+                f"{machine['usable_cpus']}/{machine['cpu_count']} usable CPUs)",
+                f"identical: {data['identical']}, failures: {data['failures']}; "
+                f"JSON archived to {BENCH_JSON.name}",
+            ]
+        )
+    )

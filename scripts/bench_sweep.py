@@ -1,0 +1,113 @@
+"""Serial-vs-parallel sweep-executor benchmark, as a plain script.
+
+Runs :func:`repro.analysis.run_sweep_bench` (the same measurement as
+``pytest benchmarks/test_sweep_parallel.py``) and writes the result to
+``BENCH_sweep_parallel.json`` at the repository root.
+
+Usage::
+
+    python scripts/bench_sweep.py                  # 8-core reference shape
+    python scripts/bench_sweep.py --workers 8      # wider pool
+    python scripts/bench_sweep.py --full           # 64-core Fig-4 shape
+    python scripts/bench_sweep.py --check          # CI smoke: tiny 2-worker
+                                                   # sweep, exit 1 if scores
+                                                   # differ from serial
+
+``--check`` gates on the executor's correctness contract — parallel
+scores identical to serial, zero cell failures — which must hold on any
+machine.  The *speedup* is host-dependent (it needs free CPUs), so the
+check never gates on it; the JSON records ``machine.usable_cpus``
+alongside the measured number for interpretation.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import run_sweep_bench  # noqa: E402
+from repro.cmp import cmp_8core, cmp_64core  # noqa: E402
+from repro.workloads import BUNDLE_CATEGORIES  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4, help="pool width (default 4)")
+    parser.add_argument(
+        "--bundles", type=int, default=3, help="bundles per category (default 3)"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="64-core chip, all six Fig-4 categories"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="tiny 2-worker determinism smoke; exit 1 on any divergence/failure",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_sweep_parallel.json",
+        help="where to write the JSON (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        data = run_sweep_bench(bundles_per_category=1, workers=2)
+    elif args.full:
+        data = run_sweep_bench(
+            config=cmp_64core(),
+            bundles_per_category=args.bundles,
+            categories=BUNDLE_CATEGORIES,
+            workers=args.workers,
+        )
+    else:
+        data = run_sweep_bench(
+            config=cmp_8core(),
+            bundles_per_category=args.bundles,
+            workers=args.workers,
+        )
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+
+    sweep, machine = data["sweep"], data["machine"]
+    print(
+        f"sweep: {sweep['cells']} cells "
+        f"({len(sweep['categories'])} categories x {sweep['bundles_per_category']} "
+        f"bundles x {len(sweep['mechanisms'])} mechanisms, "
+        f"{sweep['num_cores']}-core) -> {args.output}"
+    )
+    print(
+        f"serial {data['serial']['wall_s']:.2f}s, "
+        f"parallel({data['parallel']['workers']}) {data['parallel']['wall_s']:.2f}s, "
+        f"speedup x{data['speedup']:.2f} "
+        f"(host: {machine['usable_cpus']}/{machine['cpu_count']} usable CPUs)"
+    )
+    print(
+        f"identical: {data['identical']}, "
+        f"max divergence {data['max_abs_divergence']:.3g}, "
+        f"failures {data['failures']}"
+    )
+
+    if args.check:
+        failures = []
+        if not data["identical"]:
+            failures.append(
+                "parallel scores diverged from serial "
+                f"(max |diff| = {data['max_abs_divergence']:.3g})"
+            )
+        if data["failures"]:
+            failures.append(f"{data['failures']} sweep cell(s) failed")
+        for message in failures:
+            print(f"CHECK FAILED: {message}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

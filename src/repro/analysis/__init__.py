@@ -10,6 +10,8 @@ from .export import simulation_to_csv, sweep_to_csv, write_csv
 from .experiments import (
     BundleScore,
     SimulationScore,
+    SimulationSweepResult,
+    SweepFailure,
     SweepResult,
     fig1_data,
     fig2_data,
@@ -20,6 +22,7 @@ from .experiments import (
 )
 from .reporting import format_series, format_table, summarize_simulation, summarize_sweep
 from .stats import fraction_at_least, geometric_mean, series_summary
+from .sweep_bench import run_sweep_bench, sweep_fingerprint, sweeps_identical
 from .validation import (
     UMONErrorRow,
     dram_contention_study,
@@ -36,11 +39,16 @@ __all__ = [
     "fig2_data",
     "fig3_data",
     "BundleScore",
+    "SweepFailure",
     "SweepResult",
     "run_analytic_bundle",
     "run_analytic_sweep",
     "SimulationScore",
+    "SimulationSweepResult",
     "run_simulation_experiment",
+    "run_sweep_bench",
+    "sweep_fingerprint",
+    "sweeps_identical",
     "format_table",
     "format_series",
     "summarize_sweep",

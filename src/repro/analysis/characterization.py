@@ -54,15 +54,37 @@ def characterize_app(app: AppProfile, config: Optional[CMPConfig] = None) -> App
     )
 
 
+def _characterize_cell(spec, seed_seq) -> AppCharacterization:
+    """Executor cell: profile one application (deterministic, seed unused)."""
+    app, config = spec
+    return characterize_app(app, config)
+
+
 def characterize_suite(
-    apps: Optional[List[AppProfile]] = None, config: Optional[CMPConfig] = None
+    apps: Optional[List[AppProfile]] = None,
+    config: Optional[CMPConfig] = None,
+    workers: int = 1,
 ) -> List[AppCharacterization]:
-    """Characterize a whole suite (defaults to the 24-app SPEC suite)."""
+    """Characterize a whole suite (defaults to the 24-app SPEC suite).
+
+    ``workers > 1`` shards the per-application profiling over a process
+    pool; rows come back in suite order either way.
+    """
     if apps is None:
         from ..cmp.spec_suite import spec_suite
 
         apps = spec_suite()
-    return [characterize_app(app, config) for app in apps]
+    if workers <= 1:
+        return [characterize_app(app, config) for app in apps]
+    from ..exec import SweepExecutor
+
+    run = SweepExecutor(workers=workers).run(
+        _characterize_cell,
+        [(app, config) for app in apps],
+        labels=[app.name for app in apps],
+    )
+    run.raise_failures()
+    return list(run.values())
 
 
 def _footprint_mb(app: AppProfile, config: CMPConfig) -> float:

@@ -14,7 +14,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -30,10 +32,12 @@ from ..core.mechanisms import (
     standard_mechanism_suite,
 )
 from ..core.theory import ef_lower_bound, poa_lower_bound
+from ..exec import SweepExecutor, SweepProgress
 from ..sim.engine import ExecutionDrivenSimulator, SimulationConfig
 from ..workloads.bundles import (
     BUNDLE_CATEGORIES,
     Bundle,
+    bundle_seed_sequence,
     generate_bundles,
     paper_bbpc_bundle,
 )
@@ -43,10 +47,12 @@ __all__ = [
     "fig2_data",
     "fig3_data",
     "BundleScore",
+    "SweepFailure",
     "SweepResult",
     "run_analytic_bundle",
     "run_analytic_sweep",
     "SimulationScore",
+    "SimulationSweepResult",
     "run_simulation_experiment",
 ]
 
@@ -169,11 +175,29 @@ class BundleScore:
         return self.results[mechanism].efficiency / self.results[reference].efficiency
 
 
+@dataclass(frozen=True)
+class SweepFailure:
+    """One (bundle, mechanism) cell that raised instead of scoring."""
+
+    bundle: str
+    category: str
+    mechanism: str
+    #: Formatted traceback from the worker that ran the cell.
+    error: str
+
+
 @dataclass
 class SweepResult:
-    """Phase-1 sweep output: one :class:`BundleScore` per bundle."""
+    """Phase-1 sweep output: one :class:`BundleScore` per bundle.
+
+    A bundle whose cells all succeed contributes a :class:`BundleScore`;
+    a bundle with any failed cell is excluded from ``scores`` (a partial
+    mechanism line-up would poison every cross-mechanism series) and its
+    failing cells are recorded in ``failures`` instead.
+    """
 
     scores: List[BundleScore] = field(default_factory=list)
+    failures: List[SweepFailure] = field(default_factory=list)
 
     @property
     def mechanisms(self) -> List[str]:
@@ -252,6 +276,54 @@ def run_analytic_bundle(
     return BundleScore(bundle=bundle.name, category=bundle.category, results=results)
 
 
+# One sweep-cell shards per (bundle, mechanism), so the mechanisms of a
+# bundle share its convexified AllocationProblem through a small
+# per-process cache instead of each rebuilding it.  Entries are keyed by
+# a token unique to the parent sweep invocation: a long-lived process
+# running several sweeps (different chips, same bundle names) can never
+# hit a stale problem.
+_PROBLEM_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_PROBLEM_CACHE_SIZE = 4
+_SWEEP_TOKENS = itertools.count()
+
+
+def _cached_problem(token, config: CMPConfig, bundle: Bundle):
+    key = (token, bundle.category, bundle.name)
+    problem = _PROBLEM_CACHE.get(key)
+    if problem is None:
+        problem = ChipModel(config, bundle.apps).build_problem()
+        _PROBLEM_CACHE[key] = problem
+        while len(_PROBLEM_CACHE) > _PROBLEM_CACHE_SIZE:
+            _PROBLEM_CACHE.popitem(last=False)
+    return problem
+
+
+def _analytic_cell(spec, seed_seq: np.random.SeedSequence):
+    """Score one (bundle, mechanism) cell; runs inside a sweep worker.
+
+    The analytic pipeline is fully deterministic (the bidder and the
+    greedy optimum use no randomness), so the executor-provided seed is
+    unused; it is part of the cell signature so stochastic cells can be
+    added without changing the executor contract.
+    """
+    token, config, bundle, mechanism = spec
+    problem = _cached_problem(token, config, bundle)
+    return mechanism.allocate(problem)
+
+
+def _progress_adapter(
+    progress: Optional[Callable[[str], None]]
+) -> Optional[Callable[[SweepProgress], None]]:
+    """Wrap the harness' line-oriented callback for the executor."""
+    if progress is None:
+        return None
+
+    def emit(beat: SweepProgress) -> None:
+        progress(beat.describe())
+
+    return emit
+
+
 def run_analytic_sweep(
     config: Optional[CMPConfig] = None,
     bundles_per_category: int = 40,
@@ -259,6 +331,7 @@ def run_analytic_sweep(
     mechanisms_factory: Optional[Callable[[], Sequence[AllocationMechanism]]] = None,
     seed: int = 2016,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> SweepResult:
     """The phase-1 sweep behind Figures 4a/4b.
 
@@ -267,18 +340,67 @@ def run_analytic_sweep(
     six-mechanism line-up.  ``bundles_per_category`` can be lowered for
     quick runs; the bundle *prefix* is stable for a given seed, so small
     sweeps are strict subsets of large ones.
+
+    The (bundle, mechanism) cells shard over a
+    :class:`~repro.exec.SweepExecutor` with ``workers`` processes;
+    ``workers=1`` (the default) runs them serially in-process.  Scores
+    are identical for any worker count, a cell that raises is recorded
+    in :attr:`SweepResult.failures` instead of killing the sweep, and
+    ``progress`` receives one completion line (with ETA) per cell.
     """
     config = config or cmp_64core()
     factory = mechanisms_factory or standard_mechanism_suite
-    sweep = SweepResult()
+    token = next(_SWEEP_TOKENS)
+
+    specs: List[tuple] = []
+    labels: List[str] = []
+    keys: List[tuple] = []  # (bundle, category, mechanism) per cell
+    lineup: List[tuple] = []  # (bundle, ordered mechanism names)
     for category in categories:
         bundles = generate_bundles(
             category, config.num_cores, count=bundles_per_category, seed=seed
         )
         for bundle in bundles:
-            if progress is not None:
-                progress(bundle.name)
-            sweep.scores.append(run_analytic_bundle(bundle, config, factory()))
+            mechanisms = factory()
+            lineup.append((bundle, [mech.name for mech in mechanisms]))
+            for mech in mechanisms:
+                specs.append((token, config, bundle, mech))
+                labels.append(f"{bundle.name}/{mech.name}")
+                keys.append((bundle.name, bundle.category, mech.name))
+
+    executor = SweepExecutor(
+        workers=workers, seed=seed, progress=_progress_adapter(progress)
+    )
+    run = executor.run(_analytic_cell, specs, labels=labels)
+
+    sweep = SweepResult()
+    by_bundle: Dict[str, Dict[str, MechanismResult]] = {}
+    failed_bundles = set()
+    for cell in run.cells:
+        bundle_name, category, mech_name = keys[cell.index]
+        if cell.ok:
+            by_bundle.setdefault(bundle_name, {})[mech_name] = cell.value
+        else:
+            failed_bundles.add(bundle_name)
+            sweep.failures.append(
+                SweepFailure(
+                    bundle=bundle_name,
+                    category=category,
+                    mechanism=mech_name,
+                    error=cell.error,
+                )
+            )
+    for bundle, mech_names in lineup:
+        if bundle.name in failed_bundles:
+            continue
+        results = by_bundle.get(bundle.name, {})
+        sweep.scores.append(
+            BundleScore(
+                bundle=bundle.name,
+                category=bundle.category,
+                results={name: results[name] for name in mech_names},
+            )
+        )
     return sweep
 
 
@@ -300,6 +422,33 @@ class SimulationScore:
         return self.efficiency[mechanism] / self.efficiency[reference]
 
 
+class SimulationSweepResult(List[SimulationScore]):
+    """Per-category simulation scores, plus any isolated cell failures.
+
+    Behaves exactly like the plain list the harness used to return; a
+    category with a failed (bundle, mechanism) cell is excluded from the
+    list and recorded in :attr:`failures` instead.
+    """
+
+    def __init__(self, scores=(), failures=None):
+        super().__init__(scores)
+        self.failures: List[SweepFailure] = list(failures or [])
+
+
+def _simulation_cell(spec, seed_seq: np.random.SeedSequence):
+    """Simulate one (bundle, mechanism) cell; runs inside a sweep worker."""
+    config, bundle, mechanism, sim_config = spec
+    chip = ChipModel(config, bundle.apps)
+    result = ExecutionDrivenSimulator(chip, mechanism, sim_config).run()
+    # Only the figure-level aggregates travel back to the parent; the
+    # full trace would be megabytes of IPC per cell for nothing.
+    return {
+        "efficiency": result.efficiency,
+        "envy_freeness": result.envy_freeness,
+        "mean_iterations": result.mean_market_iterations,
+    }
+
+
 def run_simulation_experiment(
     config: Optional[CMPConfig] = None,
     categories: Sequence[str] = BUNDLE_CATEGORIES,
@@ -307,37 +456,87 @@ def run_simulation_experiment(
     mechanisms_factory: Optional[Callable[[], Sequence[AllocationMechanism]]] = None,
     bundle_index: int = 0,
     seed: int = 2016,
-) -> List[SimulationScore]:
+    workers: int = 1,
+    per_cell_seeds: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SimulationSweepResult:
     """Phase-2: simulate one (randomly selected) bundle per category.
 
     This validates the analytic sweep with runtime-monitored utilities,
     Futility-Scaling partition dynamics, thermal feedback and DRAM
     contention, as in Section 6.3.
+
+    The (bundle, mechanism) runs shard over a
+    :class:`~repro.exec.SweepExecutor` with ``workers`` processes and
+    produce identical scores for any worker count.  By default every
+    cell simulates with ``sim_config.seed``, exactly as the serial
+    harness always has; ``per_cell_seeds=True`` instead derives each
+    cell's monitoring-noise seed from
+    :func:`~repro.workloads.bundles.bundle_seed_sequence` — decorrelated
+    across cells, yet stable under any worker count or category
+    subsetting.
     """
     config = config or cmp_64core()
     sim_config = sim_config or SimulationConfig()
     factory = mechanisms_factory or standard_mechanism_suite
-    scores: List[SimulationScore] = []
+
+    specs: List[tuple] = []
+    labels: List[str] = []
+    keys: List[tuple] = []
+    lineup: List[tuple] = []
     for category in categories:
         bundle = generate_bundles(
             category, config.num_cores, count=bundle_index + 1, seed=seed
         )[bundle_index]
-        chip = ChipModel(config, bundle.apps)
-        efficiency: Dict[str, float] = {}
-        ef: Dict[str, float] = {}
-        iters: Dict[str, float] = {}
-        for mech in factory():
-            result = ExecutionDrivenSimulator(chip, mech, sim_config).run()
-            efficiency[mech.name] = result.efficiency
-            ef[mech.name] = result.envy_freeness
-            iters[mech.name] = result.mean_market_iterations
+        mechanisms = factory()
+        lineup.append((bundle, [mech.name for mech in mechanisms]))
+        cell_seeds = bundle_seed_sequence(
+            sim_config.seed, category, bundle.index, config.num_cores
+        ).spawn(len(mechanisms))
+        for k, mech in enumerate(mechanisms):
+            cell_config = sim_config
+            if per_cell_seeds:
+                derived = int(cell_seeds[k].generate_state(1, np.uint32)[0])
+                cell_config = replace(sim_config, seed=derived)
+            specs.append((config, bundle, mech, cell_config))
+            labels.append(f"{bundle.name}/{mech.name}")
+            keys.append((bundle.name, category, mech.name))
+
+    executor = SweepExecutor(
+        workers=workers, seed=seed, progress=_progress_adapter(progress)
+    )
+    run = executor.run(_simulation_cell, specs, labels=labels)
+
+    by_bundle: Dict[str, Dict[str, Dict[str, float]]] = {}
+    failures: List[SweepFailure] = []
+    failed_bundles = set()
+    for cell in run.cells:
+        bundle_name, category, mech_name = keys[cell.index]
+        if cell.ok:
+            by_bundle.setdefault(bundle_name, {})[mech_name] = cell.value
+        else:
+            failed_bundles.add(bundle_name)
+            failures.append(
+                SweepFailure(
+                    bundle=bundle_name,
+                    category=category,
+                    mechanism=mech_name,
+                    error=cell.error,
+                )
+            )
+
+    scores: List[SimulationScore] = []
+    for bundle, mech_names in lineup:
+        if bundle.name in failed_bundles:
+            continue
+        cells = by_bundle.get(bundle.name, {})
         scores.append(
             SimulationScore(
                 bundle=bundle.name,
-                category=category,
-                efficiency=efficiency,
-                envy_freeness=ef,
-                mean_iterations=iters,
+                category=bundle.category,
+                efficiency={m: cells[m]["efficiency"] for m in mech_names},
+                envy_freeness={m: cells[m]["envy_freeness"] for m in mech_names},
+                mean_iterations={m: cells[m]["mean_iterations"] for m in mech_names},
             )
         )
-    return scores
+    return SimulationSweepResult(scores, failures)

@@ -83,7 +83,10 @@ def _cmd_fig4(args) -> None:
         config=config,
         bundles_per_category=args.bundles,
         progress=lambda name: print(f"  {name}", file=sys.stderr),
+        workers=args.workers,
     )
+    for failure in sweep.failures:
+        print(f"  FAILED {failure.bundle}/{failure.mechanism}", file=sys.stderr)
     print(summarize_sweep(sweep))
     x = np.arange(len(sweep.scores), dtype=float)
     print("\nFigure 4a series (ordered by EqualShare efficiency):")
@@ -100,17 +103,22 @@ def _cmd_fig5(args) -> None:
         config=config,
         categories=tuple(args.categories),
         sim_config=SimulationConfig(duration_ms=float(args.epochs), seed=args.seed),
+        workers=args.workers,
     )
+    for failure in scores.failures:
+        print(f"  FAILED {failure.bundle}/{failure.mechanism}", file=sys.stderr)
     print(summarize_simulation(scores))
 
 
-def _cmd_suite(_args) -> None:
+def _cmd_suite(args) -> None:
     from .analysis import characterize_suite
 
     rows = [
         [r.name, r.suite, r.cls, r.cpi_exe, r.apki, r.footprint_mb,
          r.cache_sensitivity, r.power_sensitivity]
-        for r in sorted(characterize_suite(), key=lambda r: (r.cls, r.name))
+        for r in sorted(
+            characterize_suite(workers=args.workers), key=lambda r: (r.cls, r.name)
+        )
     ]
     print(
         format_table(
@@ -157,6 +165,7 @@ def _cmd_convergence(args) -> None:
             ReBudgetMechanism(step=20),
             ReBudgetMechanism(step=40),
         ],
+        workers=args.workers,
     )
     rows = []
     for mech in sweep.mechanisms:
@@ -199,9 +208,12 @@ def build_parser() -> argparse.ArgumentParser:
     p3.add_argument("--seed", type=int, default=9)
     p3.set_defaults(func=_cmd_fig3)
 
+    workers_help = "worker processes for the sweep (1 = serial in-process)"
+
     p4 = sub.add_parser("fig4", help="analytic efficiency/fairness sweep")
     p4.add_argument("--bundles", type=int, default=3, help="bundles per category (paper: 40)")
     p4.add_argument("--cores", type=int, default=64, choices=(8, 64))
+    p4.add_argument("--workers", type=int, default=1, help=workers_help)
     p4.set_defaults(func=_cmd_fig4)
 
     p5 = sub.add_parser("fig5", help="execution-driven simulation runs")
@@ -211,15 +223,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p5.add_argument("--cores", type=int, default=64, choices=(8, 64))
     p5.add_argument("--seed", type=int, default=2016)
+    p5.add_argument("--workers", type=int, default=1, help=workers_help)
     p5.set_defaults(func=_cmd_fig5)
 
     pc = sub.add_parser("convergence", help="Section 6.4 iteration statistics")
     pc.add_argument("--bundles", type=int, default=3)
+    pc.add_argument("--workers", type=int, default=1, help=workers_help)
     pc.set_defaults(func=_cmd_convergence)
 
-    sub.add_parser("suite", help="the 24-application workload table").set_defaults(
-        func=_cmd_suite
-    )
+    ps = sub.add_parser("suite", help="the 24-application workload table")
+    ps.add_argument("--workers", type=int, default=1, help=workers_help)
+    ps.set_defaults(func=_cmd_suite)
     sub.add_parser("validate", help="substrate-quality studies").set_defaults(
         func=_cmd_validate
     )

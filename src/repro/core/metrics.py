@@ -92,19 +92,27 @@ def market_utility_range(lambdas: Sequence[float]) -> float:
 
     Degenerate markets where every player's marginal utility of money is
     zero (everyone saturated) have nothing to gain from budget movement,
-    so we report MUR = 1.
+    so we report MUR = 1.  Monitored (noisy) utilities can yield a
+    negative lambda estimate, which would push the raw ratio below 0 and
+    outside Theorem 1's domain; the result is clamped to [0, 1] so
+    downstream bound checks (``poa_lower_bound``) stay applicable.
     """
     values = np.asarray(lambdas, dtype=float)
     top = float(values.max(initial=0.0))
     if top <= 0.0:
         return 1.0
-    return float(values.min() / top)
+    return float(min(max(float(values.min()) / top, 0.0), 1.0))
 
 
 def market_budget_range(budgets: Sequence[float]) -> float:
-    """MBR: ``min_i B_i / max_i B_i`` (Definition 6)."""
+    """MBR: ``min_i B_i / max_i B_i`` (Definition 6).
+
+    Clamped to [0, 1] symmetrically with :func:`market_utility_range`
+    so a pathological negative budget can never escape Theorem 2's
+    domain (``ef_lower_bound``).
+    """
     values = np.asarray(budgets, dtype=float)
     top = float(values.max(initial=0.0))
     if top <= 0.0:
         return 1.0
-    return float(values.min() / top)
+    return float(min(max(float(values.min()) / top, 0.0), 1.0))

@@ -179,13 +179,18 @@ def run_rebudget(
         cut_players: List[int] = []
 
         # Step (3): cut the budget of every player whose lambda_i sits
-        # below the threshold, but never below the MBR floor.  Once the
-        # step has shrunk below 1% of the initial budget, this round's
-        # equilibrium is the final outcome and no more cuts are made.
+        # below the threshold, but never below the MBR floor.  A player
+        # whose full step would cross the floor is cut partially, onto
+        # the floor itself — skipping it instead would leave low-lambda
+        # players stranded just above the floor and the configured
+        # fairness knob (min_envy_freeness -> MBR * B) never reached.
+        # Once the step has shrunk below 1% of the initial budget, this
+        # round's equilibrium is the final outcome and no more cuts are
+        # made.
         if not step_exhausted:
             threshold = config.lambda_threshold * float(lambdas.max(initial=0.0))
             for i, player in enumerate(market.players):
-                if lambdas[i] < threshold and player.budget - step >= floor - 1e-12:
+                if lambdas[i] < threshold and player.budget > floor + 1e-12:
                     player.budget = max(player.budget - step, floor)
                     cut_players.append(i)
 

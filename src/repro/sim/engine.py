@@ -174,8 +174,12 @@ class ExecutionDrivenSimulator:
         local = time_ms - self._switch_time_ms[core_index]
         return self._trackers[core_index].state_at(max(local, 0.0))
 
-    def _apply_context_switches(self, time_ms: float, pending, monitors, rng) -> None:
-        """Swap applications whose switch time has arrived."""
+    def _apply_context_switches(self, time_ms: float, pending, monitors, rng) -> bool:
+        """Swap applications whose switch time has arrived.
+
+        Returns True when at least one core changed hands, so the caller
+        can force a market re-run this epoch.
+        """
         from ..cmp.core_model import CoreModel
 
         switched = False
@@ -202,6 +206,7 @@ class ExecutionDrivenSimulator:
             # its carried bids describe the departed application, so the
             # next allocation must re-search from scratch.
             self.mechanism.reset_warm_state()
+        return switched
 
     def run(self) -> SimulationResult:
         cfg = self.config
@@ -239,7 +244,11 @@ class ExecutionDrivenSimulator:
         alloc_result = None
         for epoch in range(num_epochs):
             time_ms = epoch * cfg.epoch_ms
-            self._apply_context_switches(time_ms, pending_switches, monitors, rng)
+            if self._apply_context_switches(time_ms, pending_switches, monitors, rng):
+                # Section 4.3: the incoming application must not execute
+                # under the departed one's allocation, even between the
+                # scheduled market epochs of reallocation_period_epochs.
+                alloc_result = None
             states = [self._phase_state(i, time_ms) for i in range(n)]
 
             # (1) Allocation: re-run the market on monitored utilities.

@@ -23,6 +23,8 @@ __all__ = [
     "BUNDLE_CATEGORIES",
     "BUNDLES_PER_CATEGORY",
     "Bundle",
+    "category_fingerprint",
+    "bundle_seed_sequence",
     "generate_bundle",
     "generate_bundles",
     "generate_all_bundles",
@@ -56,6 +58,32 @@ class Bundle:
         return [app.name for app in self.apps]
 
 
+def category_fingerprint(category: str) -> int:
+    """A stable integer identity for a category string.
+
+    The built-in ``hash()`` is salted per process, so it cannot seed
+    RNGs reproducibly; this positional character sum can.
+    """
+    return sum(ord(c) * 31 ** k for k, c in enumerate(category))
+
+
+def bundle_seed_sequence(
+    seed: int, category: str, index: int, num_cores: int = 0
+) -> np.random.SeedSequence:
+    """A per-bundle :class:`~numpy.random.SeedSequence` for sweep cells.
+
+    The sequence depends only on the bundle's identity ``(category,
+    index)`` and the sweep seed — never on which categories or bundles
+    share the sweep, or on how a parallel executor sharded the cells —
+    so per-cell entropy (e.g. the simulator's monitoring noise) is
+    reproducible under any subsetting or worker count.  Spawn one child
+    per mechanism to seed the individual (bundle, mechanism) cells.
+    """
+    return np.random.SeedSequence(
+        [seed, category_fingerprint(category), index, num_cores]
+    )
+
+
 def generate_bundle(
     category: str,
     num_cores: int,
@@ -83,9 +111,7 @@ def generate_bundles(
     seed: int = 2016,
 ) -> List[Bundle]:
     """The ``count`` random bundles of one category (deterministic seed)."""
-    # A stable category fingerprint (built-in hash() is salted per process).
-    fingerprint = sum(ord(c) * 31 ** k for k, c in enumerate(category))
-    rng = np.random.default_rng([seed, fingerprint, num_cores])
+    rng = np.random.default_rng([seed, category_fingerprint(category), num_cores])
     return [generate_bundle(category, num_cores, rng, index=k) for k in range(count)]
 
 

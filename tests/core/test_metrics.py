@@ -97,7 +97,23 @@ class TestRanges:
     def test_mbr_equal_budgets(self):
         assert market_budget_range([100.0] * 5) == 1.0
 
-    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=8))
+    def test_negative_lambda_clamped_to_theorem_domain(self):
+        # Monitored (noisy) utilities can report a negative marginal
+        # utility of money; the raw min/max ratio would go below zero
+        # and poa_lower_bound / ef_lower_bound would raise.  The ranges
+        # clamp to [0, 1] instead.
+        from repro.core.theory import ef_lower_bound, poa_lower_bound
+
+        mur = market_utility_range([-0.2, 1.0])
+        mbr = market_budget_range([-5.0, 100.0])
+        assert mur == 0.0
+        assert mbr == 0.0
+        assert poa_lower_bound(mur) >= 0.0  # must not raise
+        assert ef_lower_bound(mbr) >= 0.0
+
+    @given(
+        st.lists(st.floats(min_value=-100.0, max_value=100.0), min_size=1, max_size=8)
+    )
     @settings(max_examples=80, deadline=None)
     def test_ranges_in_unit_interval(self, values):
         assert 0.0 <= market_utility_range(values) <= 1.0

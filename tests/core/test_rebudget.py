@@ -92,6 +92,23 @@ class TestReBudgetRun:
         # Theorem 2: the realized EF guarantee is at least the target.
         assert result.guaranteed_envy_freeness >= 0.6 - 1e-9
 
+    def test_overshooting_step_cuts_onto_floor(self):
+        # step=50 overshoots the MBR floor derived from the fairness
+        # target (69 of 100): a full cut would land at 50, below the
+        # floor.  The guard used to skip such players entirely, leaving
+        # low-lambda budgets stranded at 100 and the configured fairness
+        # knob without effect; a partial cut must land exactly on the
+        # floor instead.
+        market = _heterogeneous_market()
+        cfg = ReBudgetConfig(min_envy_freeness=0.6, step=50.0)
+        floor = min_mbr_for_envy_freeness(0.6) * 100.0
+        assert 100.0 - 50.0 < floor  # the full step does cross the floor
+        result = run_rebudget(market, cfg)
+        assert result.rounds[0].cut_players  # the cut happened anyway
+        assert result.final_budgets.min() == pytest.approx(floor)
+        assert np.all(result.final_budgets >= floor - 1e-9)
+        assert result.guaranteed_envy_freeness >= 0.6 - 1e-9
+
     def test_efficiency_non_decreasing_vs_equal_budget(self):
         market = _heterogeneous_market()
         result = run_rebudget(market, ReBudgetConfig(step=40.0))

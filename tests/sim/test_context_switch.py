@@ -22,6 +22,18 @@ def _run(chip, switches, duration=10.0, seed=5):
     return ExecutionDrivenSimulator(chip, EqualBudget(), cfg).run()
 
 
+class _CountingEqualBudget(EqualBudget):
+    """EqualBudget that counts how many market epochs actually ran."""
+
+    def __init__(self):
+        super().__init__()
+        self.allocate_calls = 0
+
+    def allocate(self, problem):
+        self.allocate_calls += 1
+        return super().allocate(problem)
+
+
 class TestContextSwitch:
     def test_validation(self, chip):
         with pytest.raises(ValueError):
@@ -70,6 +82,26 @@ class TestContextSwitch:
         )
         assert cache_after < cache_before * 0.6
         assert power_after > power_before
+
+    def test_switch_forces_reallocation_between_market_epochs(self, chip):
+        # With reallocation_period_epochs=4 over 8 ms, the market runs
+        # at epochs 0 and 4 only.  A context switch at 2 ms must force
+        # an extra reallocation immediately (Section 4.3: the incoming
+        # application cannot execute under the departed one's
+        # allocation), not wait for the scheduled epoch 4.
+        def run(switches):
+            mech = _CountingEqualBudget()
+            cfg = SimulationConfig(
+                duration_ms=8.0,
+                seed=5,
+                reallocation_period_epochs=4,
+                context_switches=tuple(switches),
+            )
+            ExecutionDrivenSimulator(chip, mech, cfg).run()
+            return mech.allocate_calls
+
+        assert run([]) == 2  # scheduled epochs 0 and 4 only
+        assert run([ContextSwitch(2.0, 0, app_by_name("povray"))]) == 3
 
     def test_run_completes_with_many_switches(self, chip):
         switches = [

@@ -17,6 +17,7 @@ single CPU, so the JSON records the machine context
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from typing import Callable, Optional, Sequence
@@ -26,7 +27,12 @@ import numpy as np
 from ..cmp.config import CMPConfig, cmp_8core
 from .experiments import SweepResult, run_analytic_sweep
 
-__all__ = ["run_sweep_bench", "sweep_fingerprint", "sweeps_identical"]
+__all__ = [
+    "DEFAULT_CATEGORIES",
+    "run_sweep_bench",
+    "sweep_fingerprint",
+    "sweeps_identical",
+]
 
 #: Reference sweep shape: Fig-4 structure at a size a CI smoke can afford.
 DEFAULT_CATEGORIES = ("CPBN", "BBPN")
@@ -61,9 +67,14 @@ def sweeps_identical(a: SweepResult, b: SweepResult) -> tuple:
     for key, cell in fa.items():
         other = fb[key]
         for metric in ("efficiency", "envy_freeness", "iterations"):
-            diff = abs(float(cell[metric]) - float(other[metric]))
-            worst = max(worst, diff)
-            if diff != 0.0:
+            a_val, b_val = float(cell[metric]), float(other[metric])
+            worst = max(worst, abs(a_val - b_val))
+            # The executor's determinism contract is *bitwise* score
+            # identity between workers=1 and workers=N, so the identity
+            # test is exact on purpose: isclose with zero tolerances is
+            # `a == b` spelled so the zero tolerance is explicit (and
+            # REPRO101-clean), not an accidental fp comparison.
+            if not math.isclose(a_val, b_val, rel_tol=0.0, abs_tol=0.0):
                 identical = False
         if not np.array_equal(cell["allocations"], other["allocations"]):
             identical = False

@@ -8,9 +8,13 @@ Usage::
     python -m repro fig4 [--bundles 3] [--cores 64]
     python -m repro fig5 [--epochs 8] [--categories CPBN BBPN]
     python -m repro convergence [--bundles 3]
+    python -m repro lint [paths ...] [--format json] [--fail-on warning]
 
-Every subcommand prints the figure's rows/series in plain text (the
-same output the benchmarks archive under ``benchmarks/_results``).
+Every figure subcommand prints the figure's rows/series in plain text
+(the same output the benchmarks archive under ``benchmarks/_results``).
+``lint`` runs the :mod:`repro.qa` static domain linter and exits 1 when
+findings at or above the ``--fail-on`` severity remain (see
+``docs/QA.md``).
 """
 
 from __future__ import annotations
@@ -36,7 +40,7 @@ from .cmp import cmp_8core, cmp_64core
 from .sim import SimulationConfig
 from .workloads import generate_bundles
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 
 def _cmd_fig1(_args) -> None:
@@ -153,6 +157,17 @@ def _cmd_validate(_args) -> None:
         print(f"  {u:.2f} -> {lat:.1f}")
 
 
+def _cmd_lint(args) -> int:
+    from .qa import Linter, Severity, render_json, render_text
+
+    report = Linter().lint_paths(args.paths)
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code(fail_on=Severity.parse(args.fail_on))
+
+
 def _cmd_convergence(args) -> None:
     from .core import BalancedBudget, EqualBudget, ReBudgetMechanism
 
@@ -238,13 +253,28 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_validate
     )
 
+    pl = sub.add_parser("lint", help="run the repro.qa static domain linter")
+    pl.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    pl.add_argument("--format", choices=("text", "json"), default="text")
+    pl.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default="error",
+        help="lowest severity that makes the exit code nonzero",
+    )
+    pl.set_defaults(func=_cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    return int(args.func(args) or 0)
 
 
 if __name__ == "__main__":

@@ -25,7 +25,7 @@ from .core_model import CoreModel
 from .umon import UMONShadowTags
 from .utility_builder import build_utility_from_miss_curve
 
-__all__ = ["RuntimeMonitor"]
+__all__ = ["MAX_EPOCH_ACCESSES", "RuntimeMonitor"]
 
 #: Cap on sampled accesses fed to the shadow tags per epoch; real UMON
 #: sees the full stream, but the histogram converges long before this.

@@ -28,6 +28,7 @@ from .config import CMPConfig
 from .core_model import CoreModel
 
 __all__ = [
+    "POWER_GRID_POINTS",
     "sample_utility_grid",
     "convexify_grid",
     "build_true_utility",

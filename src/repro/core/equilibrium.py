@@ -31,11 +31,18 @@ from typing import List, Optional
 
 import numpy as np
 
+from ..qa import sanitize as _sanitize
 from .bidding import BiddingStrategy, HillClimbBidder
 from .market import Market, MarketState
 from .player import marginal_utility_of_bids
 
-__all__ = ["WarmStart", "EquilibriumResult", "find_equilibrium"]
+__all__ = [
+    "PRICE_TOLERANCE",
+    "MAX_ITERATIONS",
+    "WarmStart",
+    "EquilibriumResult",
+    "find_equilibrium",
+]
 
 #: Paper's global price-convergence tolerance (Section 2.1).
 PRICE_TOLERANCE = 0.01
@@ -288,6 +295,8 @@ def find_equilibrium(
             break
         prices = new_prices
 
+    if _sanitize.ACTIVE:
+        _sanitize.check_convergence(converged, price_history, price_tolerance)
     state = market.allocate(bids)
     utilities = market.utilities(state.allocations)
     lambdas = np.array(

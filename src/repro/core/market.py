@@ -15,6 +15,7 @@ from typing import List, Sequence
 import numpy as np
 
 from ..exceptions import MarketConfigurationError
+from ..qa import sanitize as _sanitize
 from .player import Player, bid_to_allocation
 from .resources import ResourceSet
 
@@ -82,6 +83,10 @@ class Market:
         with np.errstate(invalid="ignore", divide="ignore"):
             shares = np.where(totals > 0.0, bids / np.where(totals > 0.0, totals, 1.0), 0.0)
         allocations = shares * self.capacities
+        if _sanitize.ACTIVE:
+            _sanitize.check_prices(prices)
+            _sanitize.check_spending(bids, self.budgets)
+            _sanitize.check_allocation(allocations, self.capacities)
         return MarketState(bids=bids, prices=prices, allocations=allocations)
 
     def others_bids(self, bids: np.ndarray, player_index: int) -> np.ndarray:

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..exceptions import MarketConfigurationError
+from ..qa import sanitize as _sanitize
 from ..utility.base import UtilityFunction
 from .bidding import BiddingStrategy, HillClimbBidder
 from .equilibrium import EquilibriumResult, WarmStart, find_equilibrium
@@ -40,6 +41,7 @@ from .rebudget import ReBudgetConfig, ReBudgetResult, run_rebudget
 from .resources import Resource, ResourceSet
 
 __all__ = [
+    "DEFAULT_BUDGET",
     "AllocationProblem",
     "MechanismResult",
     "MechanismWarmState",
@@ -244,6 +246,8 @@ class AllocationMechanism(abc.ABC):
             allocations = clamp_to_per_player_caps(
                 allocations, problem.per_player_caps
             )
+        if _sanitize.ACTIVE:
+            _sanitize.check_allocation(allocations, problem.capacities)
         utilities = np.array(
             [u.value(allocations[i]) for i, u in enumerate(problem.utilities)]
         )

@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..qa import sanitize as _sanitize
 from ..utility.base import UtilityFunction
 
 __all__ = [
@@ -101,7 +102,10 @@ def market_utility_range(lambdas: Sequence[float]) -> float:
     top = float(values.max(initial=0.0))
     if top <= 0.0:
         return 1.0
-    return float(min(max(float(values.min()) / top, 0.0), 1.0))
+    result = float(min(max(float(values.min()) / top, 0.0), 1.0))
+    if _sanitize.ACTIVE:
+        _sanitize.check_unit_interval("MUR", result)
+    return result
 
 
 def market_budget_range(budgets: Sequence[float]) -> float:
@@ -115,4 +119,7 @@ def market_budget_range(budgets: Sequence[float]) -> float:
     top = float(values.max(initial=0.0))
     if top <= 0.0:
         return 1.0
-    return float(min(max(float(values.min()) / top, 0.0), 1.0))
+    result = float(min(max(float(values.min()) / top, 0.0), 1.0))
+    if _sanitize.ACTIVE:
+        _sanitize.check_unit_interval("MBR", result)
+    return result

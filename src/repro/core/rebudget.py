@@ -24,6 +24,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..exceptions import MarketConfigurationError
+from ..qa import sanitize as _sanitize
 from .bidding import BiddingStrategy, HillClimbBidder
 from .equilibrium import MAX_ITERATIONS, EquilibriumResult, WarmStart, find_equilibrium
 from .market import Market
@@ -193,6 +194,9 @@ def run_rebudget(
                 if lambdas[i] < threshold and player.budget > floor + 1e-12:
                     player.budget = max(player.budget - step, floor)
                     cut_players.append(i)
+
+        if _sanitize.ACTIVE:
+            _sanitize.check_budget_floor(market.budgets, floor, initial_budget)
 
         result.rounds.append(
             ReBudgetRound(

@@ -14,6 +14,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 __all__ = [
+    "ZHANG_EQUAL_BUDGET_EF",
     "poa_lower_bound",
     "ef_lower_bound",
     "min_mbr_for_envy_freeness",

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "MarketConfigurationError", "ConvergenceError"]
+__all__ = [
+    "ReproError",
+    "MarketConfigurationError",
+    "ConvergenceError",
+    "SanitizerError",
+]
 
 
 class ReproError(Exception):
@@ -15,3 +20,16 @@ class MarketConfigurationError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative solver failed to converge and no fail-safe was allowed."""
+
+
+class SanitizerError(ReproError):
+    """A runtime invariant check (``repro.qa.sanitize``) failed.
+
+    ``invariant`` names the violated contract (e.g.
+    ``"rebudget-budget-floor"``) so tests and CI logs can assert on the
+    exact guarantee that broke, not just the message text.
+    """
+
+    def __init__(self, message: str, invariant: str = ""):
+        super().__init__(message)
+        self.invariant = invariant

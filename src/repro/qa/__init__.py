@@ -1,0 +1,44 @@
+"""Correctness tooling for the reproduction: a static domain linter and
+a runtime invariant sanitizer (``docs/QA.md`` is the full catalogue).
+
+* :mod:`repro.qa.engine` / :mod:`repro.qa.rules` — an AST rule engine
+  (registry, severities, ``# repro: noqa[RULE]`` suppressions) with
+  domain-specific rules: float equality, mutable defaults, overbroad
+  excepts, unseeded RNG state, a worker-process race detector that
+  walks the call graph from :class:`~repro.exec.SweepExecutor` entry
+  points, and ``__all__`` drift.  Run it with ``repro lint``.
+* :mod:`repro.qa.sanitize` — ``REPRO_SANITIZE=1``-gated contract checks
+  (prices, budgets, capacities, MUR/MBR domains, the ReBudget floor,
+  convergence-flag consistency) at the market/equilibrium/rebudget/
+  metrics seams; compiled out to a single attribute read otherwise.
+"""
+
+from .engine import (
+    Finding,
+    Linter,
+    LintReport,
+    ModuleRule,
+    ProjectRule,
+    Rule,
+    Severity,
+    SourceModule,
+)
+from .reporters import JSON_SCHEMA_VERSION, render_json, render_text
+from .rules import default_rules
+from .sanitize import SanitizerError
+
+__all__ = [
+    "Finding",
+    "Linter",
+    "LintReport",
+    "ModuleRule",
+    "ProjectRule",
+    "Rule",
+    "Severity",
+    "SourceModule",
+    "JSON_SCHEMA_VERSION",
+    "render_json",
+    "render_text",
+    "default_rules",
+    "SanitizerError",
+]

@@ -1,0 +1,317 @@
+"""The AST lint engine behind ``repro lint`` (see ``docs/QA.md``).
+
+The engine is deliberately self-contained — Python's :mod:`ast` plus the
+standard library, no third-party linter frameworks — because the paper's
+correctness properties are *domain* invariants (Theorem 1/2 domains,
+budget conservation, cross-process determinism) that generic linters
+cannot express.  The pieces:
+
+* :class:`SourceModule` — one parsed file: source, AST, and the
+  ``# repro: noqa[RULE]`` suppression map.
+* :class:`ModuleRule` / :class:`ProjectRule` — rule interfaces.  Module
+  rules see one file at a time; project rules (e.g. the worker-process
+  race detector) see the whole linted file set so they can walk call
+  graphs across modules.
+* :class:`Linter` — parses paths, runs every registered rule, applies
+  suppressions, and returns a :class:`LintReport` with a deterministic
+  finding order and an exit-code contract
+  (``report.exit_code(fail_on)``).
+
+Suppressions are line-anchored: ``# repro: noqa[REPRO105]`` on the line
+a finding is reported at silences exactly that rule there (an optional
+justification may follow the bracket); a bare ``# repro: noqa``
+silences every rule on its line.  Suppressed findings are counted, not
+silently dropped.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from enum import IntEnum
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "SourceModule",
+    "Rule",
+    "ModuleRule",
+    "ProjectRule",
+    "LintReport",
+    "Linter",
+    "PARSE_ERROR_RULE",
+]
+
+#: Rule id attached to files the engine cannot parse.
+PARSE_ERROR_RULE = "REPRO100"
+
+
+class Severity(IntEnum):
+    """Finding severity, ordered so thresholds compare naturally."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # "warning" / "error" in reports
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[str(text).upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of "
+                f"{[str(s) for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a file position."""
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def sort_key(self) -> Tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+
+def _noqa_map(source: str) -> Dict[int, Optional[FrozenSet[str]]]:
+    """Line -> suppressed rule ids (``None`` means every rule).
+
+    Comments are located with :mod:`tokenize` so a ``# repro: noqa``
+    inside a string literal is never treated as a suppression.
+    """
+    out: Dict[int, Optional[FrozenSet[str]]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparseable files surface as REPRO100; no suppressions apply.
+        return out
+    for line, comment in comments:
+        match = _NOQA_RE.search(comment)
+        if not match:
+            continue
+        rules = match.group("rules")
+        if rules is None:
+            out[line] = None
+        else:
+            ids = frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
+            previous = out.get(line, frozenset())
+            out[line] = None if previous is None else (previous | ids)
+    return out
+
+
+@dataclass
+class SourceModule:
+    """One file under lint: path, source text, AST and suppression map."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    noqa: Dict[int, Optional[FrozenSet[str]]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: Optional[str] = None) -> "SourceModule":
+        if source is None:
+            source = Path(path).read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=str(path), source=source, tree=tree, noqa=_noqa_map(source)
+        )
+
+    @property
+    def name(self) -> str:
+        """Best-effort dotted module name (``repro.core.market``)."""
+        parts = list(Path(self.path).with_suffix("").parts)
+        if "repro" in parts:
+            parts = parts[parts.index("repro"):]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts) if parts else Path(self.path).stem
+
+    @property
+    def is_package_init(self) -> bool:
+        return Path(self.path).name == "__init__.py"
+
+    @property
+    def basename(self) -> str:
+        return Path(self.path).name
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        entry = self.noqa.get(line, frozenset())
+        return entry is None or rule_id.upper() in entry
+
+
+class Rule:
+    """Common rule metadata; subclasses implement one ``check`` flavor."""
+
+    id: str = "REPRO000"
+    name: str = "rule"
+    severity: Severity = Severity.WARNING
+    #: One-line rationale surfaced in ``docs/QA.md`` and reports.
+    rationale: str = ""
+
+    def finding(self, module: SourceModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            severity=self.severity,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class ModuleRule(Rule):
+    """A rule evaluated one module at a time."""
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole linted file set (call-graph walks)."""
+
+    def check_project(self, modules: Sequence[SourceModule]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run, already suppression-filtered."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: List[str] = field(default_factory=list)
+    suppressed: int = 0
+
+    def counts(self) -> Dict[str, int]:
+        out = {str(s): 0 for s in Severity}
+        for finding in self.findings:
+            out[str(finding.severity)] += 1
+        return out
+
+    def by_rule(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule] = out.get(finding.rule, 0) + 1
+        return out
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        """The CLI contract: 1 iff any finding reaches ``fail_on``."""
+        return int(any(f.severity >= fail_on for f in self.findings))
+
+
+class Linter:
+    """Parse files, run rules, apply suppressions.
+
+    ``rules`` defaults to the full domain registry in
+    :mod:`repro.qa.rules`.
+    """
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        if rules is None:
+            from .rules import default_rules
+
+            rules = default_rules()
+        self.rules: List[Rule] = list(rules)
+
+    # -- entry points ---------------------------------------------------
+
+    def lint_paths(self, paths: Iterable[str]) -> LintReport:
+        """Lint files and/or directories (``*.py``, recursively)."""
+        files = self._collect(paths)
+        modules: List[SourceModule] = []
+        parse_failures: List[Finding] = []
+        for file in files:
+            try:
+                modules.append(SourceModule.parse(file))
+            except SyntaxError as exc:
+                parse_failures.append(
+                    Finding(
+                        rule=PARSE_ERROR_RULE,
+                        severity=Severity.ERROR,
+                        path=str(file),
+                        line=int(exc.lineno or 1),
+                        col=int(exc.offset or 0),
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+        report = self._run(modules)
+        report.findings = sorted(
+            report.findings + parse_failures, key=Finding.sort_key
+        )
+        report.files = [str(f) for f in files]
+        return report
+
+    def lint_sources(
+        self, named_sources: Sequence[Tuple[str, str]]
+    ) -> LintReport:
+        """Lint in-memory ``(path, source)`` pairs (the test seam)."""
+        modules = [
+            SourceModule.parse(path, source) for path, source in named_sources
+        ]
+        report = self._run(modules)
+        report.findings.sort(key=Finding.sort_key)
+        report.files = [m.path for m in modules]
+        return report
+
+    # -- internals ------------------------------------------------------
+
+    @staticmethod
+    def _collect(paths: Iterable[str]) -> List[str]:
+        files: List[str] = []
+        for path in paths:
+            p = Path(path)
+            if p.is_dir():
+                files.extend(
+                    str(f)
+                    for f in sorted(p.rglob("*.py"))
+                    if "__pycache__" not in f.parts
+                )
+            else:
+                files.append(str(p))
+        return files
+
+    def _run(self, modules: Sequence[SourceModule]) -> LintReport:
+        raw: List[Finding] = []
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                raw.extend(rule.check_project(modules))
+            elif isinstance(rule, ModuleRule):
+                for module in modules:
+                    raw.extend(rule.check(module))
+        by_path = {m.path: m for m in modules}
+        kept: List[Finding] = []
+        suppressed = 0
+        for finding in raw:
+            module = by_path.get(finding.path)
+            if module is not None and module.suppresses(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                kept.append(finding)
+        return LintReport(findings=kept, suppressed=suppressed)

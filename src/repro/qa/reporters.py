@@ -1,0 +1,68 @@
+"""Lint-report renderers: human-oriented text and machine-oriented JSON.
+
+The JSON document is the stable interface for CI (``repro lint
+--format json``); its schema is versioned and tested::
+
+    {
+      "version": 1,
+      "files": <int>,                 # files linted
+      "suppressed": <int>,            # findings silenced by noqa
+      "summary": {"error": n, "warning": m},
+      "by_rule": {"REPRO105": k, ...},
+      "findings": [
+        {"rule": "REPRO101", "severity": "warning", "path": "...",
+         "line": 66, "col": 15, "message": "..."},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintReport
+
+__all__ = ["JSON_SCHEMA_VERSION", "render_json", "render_text"]
+
+#: Bump when the JSON document shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(report: LintReport) -> str:
+    """One ``path:line:col rule severity message`` line per finding."""
+    lines = []
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location} {finding.rule} "
+            f"[{finding.severity}] {finding.message}"
+        )
+    counts = report.counts()
+    lines.append(
+        f"{len(report.files)} file(s) linted: "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{report.suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    document = {
+        "version": JSON_SCHEMA_VERSION,
+        "files": len(report.files),
+        "suppressed": report.suppressed,
+        "summary": report.counts(),
+        "by_rule": report.by_rule(),
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": str(f.severity),
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in report.findings
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -29,6 +29,8 @@ from ..cmp.core_model import CoreModel
 __all__ = [
     "PROFILE_CACHE_REGIONS",
     "PROFILE_FREQUENCIES_GHZ",
+    "CACHE_SENSITIVE_THRESHOLD",
+    "POWER_SENSITIVE_THRESHOLD",
     "ApplicationProfileTable",
     "profile_application",
     "Sensitivities",

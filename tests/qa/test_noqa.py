@@ -1,0 +1,64 @@
+"""``# repro: noqa[RULE]`` suppression semantics."""
+
+from repro.qa import Linter
+
+
+def lint(source, path="pkg/mod.py"):
+    return Linter().lint_sources([(path, source)])
+
+
+BAD_LINE = "def f(x=[]):  {comment}\n    return x\n__all__ = ['f']\n"
+
+
+class TestNoqa:
+    def test_matching_rule_is_suppressed_and_counted(self):
+        report = lint(BAD_LINE.format(comment="# repro: noqa[REPRO102]"))
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_justification_text_after_bracket_is_allowed(self):
+        report = lint(
+            BAD_LINE.format(
+                comment="# repro: noqa[REPRO102] shared scratch, reset per call"
+            )
+        )
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        report = lint(BAD_LINE.format(comment="# repro: noqa[REPRO101]"))
+        assert [f.rule for f in report.findings] == ["REPRO102"]
+        assert report.suppressed == 0
+
+    def test_bare_noqa_suppresses_every_rule_on_the_line(self):
+        report = lint(BAD_LINE.format(comment="# repro: noqa"))
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_noqa_on_other_line_has_no_effect(self):
+        source = "# repro: noqa[REPRO102]\ndef f(x=[]):\n    return x\n__all__ = ['f']\n"
+        report = lint(source)
+        assert [f.rule for f in report.findings] == ["REPRO102"]
+
+    def test_comma_list_suppresses_each_named_rule(self):
+        source = (
+            "import numpy as np\n"
+            "def f(x=[]):  # repro: noqa[REPRO102, REPRO104]\n"
+            "    return np.random.rand(3)  # repro: noqa[REPRO104]\n"
+            "__all__ = ['f']\n"
+        )
+        report = lint(source)
+        assert report.findings == []
+        assert report.suppressed == 2
+
+    def test_noqa_inside_string_literal_is_ignored(self):
+        # The fake noqa lives in a *string* on the same line as the
+        # violation; only a real comment may suppress.
+        source = (
+            'def f(x=[], s="# repro: noqa[REPRO102]"):\n'
+            "    return s, x\n"
+            "__all__ = ['f']\n"
+        )
+        report = lint(source)
+        assert [f.rule for f in report.findings] == ["REPRO102"]
+        assert report.suppressed == 0

@@ -1,0 +1,66 @@
+"""Reporter contracts: the JSON document schema and the text format."""
+
+import json
+
+from repro.qa import JSON_SCHEMA_VERSION, Linter, render_json, render_text
+
+BAD_SOURCE = (
+    "import numpy as np\n"
+    "def f(x=[]):\n"
+    "    return np.random.rand(3)\n"
+    "__all__ = ['f']\n"
+)
+
+
+def report():
+    return Linter().lint_sources([("pkg/mod.py", BAD_SOURCE)])
+
+
+class TestJsonReporter:
+    def test_document_schema(self):
+        doc = json.loads(render_json(report()))
+        assert doc["version"] == JSON_SCHEMA_VERSION
+        assert set(doc) == {
+            "version", "files", "suppressed", "summary", "by_rule", "findings",
+        }
+        assert doc["files"] == 1
+        assert isinstance(doc["suppressed"], int)
+        assert set(doc["summary"]) == {"warning", "error"}
+        assert all(isinstance(v, int) for v in doc["summary"].values())
+        assert doc["findings"], "fixture must produce findings"
+        for finding in doc["findings"]:
+            assert set(finding) == {
+                "rule", "severity", "path", "line", "col", "message",
+            }
+            assert finding["severity"] in ("warning", "error")
+            assert finding["rule"].startswith("REPRO")
+            assert isinstance(finding["line"], int) and finding["line"] >= 1
+            assert isinstance(finding["col"], int) and finding["col"] >= 0
+
+    def test_summary_and_by_rule_agree_with_findings(self):
+        doc = json.loads(render_json(report()))
+        assert sum(doc["summary"].values()) == len(doc["findings"])
+        assert sum(doc["by_rule"].values()) == len(doc["findings"])
+        rules = {f["rule"] for f in doc["findings"]}
+        assert set(doc["by_rule"]) == rules
+
+    def test_findings_sorted_by_location(self):
+        doc = json.loads(render_json(report()))
+        positions = [(f["path"], f["line"], f["col"]) for f in doc["findings"]]
+        assert positions == sorted(positions)
+
+
+class TestTextReporter:
+    def test_lines_carry_location_rule_and_severity(self):
+        rep = report()
+        text = render_text(rep)
+        for finding in rep.findings:
+            assert f"{finding.path}:{finding.line}:{finding.col}" in text
+            assert finding.rule in text
+        assert "1 file(s) linted" in text
+
+    def test_clean_report_renders_summary_only(self):
+        rep = Linter().lint_sources([("pkg/ok.py", "__all__ = []\n")])
+        text = render_text(rep)
+        assert rep.findings == []
+        assert "0 error(s), 0 warning(s)" in text

@@ -1,0 +1,114 @@
+"""Scalar-vs-batched hot-loop benchmark, as a plain script.
+
+Runs :func:`repro.analysis.run_hotloop_bench` (the same measurement as
+``pytest benchmarks/test_hotloop.py``) and writes the result to
+``BENCH_hotloop.json`` at the repository root.
+
+Usage::
+
+    python scripts/bench_hotloop.py            # default 8-core scale
+    python scripts/bench_hotloop.py --full     # 64-core chips
+    python scripts/bench_hotloop.py --check    # CI smoke: exit 1 unless
+                                               # batched ≡ scalar and ≥3x
+                                               # fewer utility calls
+
+``--check`` verifies the vectorization's headline claims: the lockstep
+bidder reproduces the scalar equilibria (allocations within the
+documented tolerance, convergence flags exactly), makes at least 3x
+fewer Python-level utility evaluations, and the ReBudget run's final
+budgets match across bidders.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import run_hotloop_bench  # noqa: E402
+from repro.cmp import cmp_8core, cmp_64core  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--full", action="store_true", help="64-core chips instead of 8-core"
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless batched ≡ scalar with ≥3x fewer calls",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_hotloop.json",
+        help="where to write the JSON (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.time()
+    data = run_hotloop_bench(config=cmp_64core() if args.full else cmp_8core())
+    elapsed = time.time() - t0
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(data, indent=2) + "\n")
+    overall, rebudget = data["overall"], data["rebudget"]
+    print(f"hot-loop bench finished in {elapsed:.1f}s -> {args.output}")
+    for name, cell in data["problems"].items():
+        print(
+            f"  {name:6s} calls {cell['scalar']['utility_calls']:5d} -> "
+            f"{cell['vector']['utility_calls']:4d} ({cell['call_reduction']:5.1f}x), "
+            f"wall {cell['scalar']['wall_ms_best']:6.1f} -> "
+            f"{cell['vector']['wall_ms_best']:5.1f} ms "
+            f"(x{cell['wallclock_speedup']:.2f}), "
+            f"bitwise={cell['bids_bitwise_equal']}"
+        )
+    print(
+        f"overall: {overall['scalar_utility_calls']} -> "
+        f"{overall['vector_utility_calls']} utility calls "
+        f"({overall['call_reduction']:.1f}x fewer), "
+        f"wall-clock x{overall['wallclock_speedup']:.2f}, "
+        f"max allocation divergence {overall['max_allocation_divergence']:.2e}"
+    )
+    print(
+        f"rebudget (CCNN, {rebudget['vector']['rounds']} rounds): "
+        f"{rebudget['scalar']['wall_ms']:.1f} -> {rebudget['vector']['wall_ms']:.1f} ms "
+        f"(x{rebudget['wallclock_speedup']:.2f}), "
+        f"budgets match: {rebudget['budgets_match']}"
+    )
+
+    if args.check:
+        tolerance = data["config"]["allocation_tolerance"]
+        failures = []
+        if overall["call_reduction"] < 3.0:
+            failures.append(
+                "batched path did not cut utility calls 3x "
+                f"({overall['call_reduction']:.2f}x)"
+            )
+        if overall["max_allocation_divergence"] > tolerance:
+            failures.append(
+                "batched allocations off scalar by "
+                f"{overall['max_allocation_divergence']:.2e} > {tolerance:.0e}"
+            )
+        if not overall["all_flags_match"]:
+            failures.append("convergence flags/iterations diverged between paths")
+        if overall["wallclock_speedup"] <= 1.0:
+            failures.append(
+                "batched path was not faster on wall-clock "
+                f"(x{overall['wallclock_speedup']:.2f})"
+            )
+        if not rebudget["budgets_match"]:
+            failures.append("ReBudget final budgets diverged between bidders")
+        for message in failures:
+            print(f"CHECK FAILED: {message}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,17 +22,45 @@ budget whenever any resource still has positive marginal utility.
 from __future__ import annotations
 
 import abc
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..utility.base import UtilityFunction
-from .player import bid_to_allocation, marginal_utility_of_bids
+from ..utility.batch import BatchedUtilitySet
+from .player import (
+    bid_to_allocation,
+    marginal_utility_of_bids,
+    marginal_utility_of_bids_batch,
+)
 
-__all__ = ["BiddingStrategy", "HillClimbBidder", "ExactBidder", "PriceTakingBidder"]
+__all__ = [
+    "BiddingStrategy",
+    "HillClimbBidder",
+    "VectorHillClimbBidder",
+    "ExactBidder",
+    "PriceTakingBidder",
+]
 
 
 class BiddingStrategy(abc.ABC):
     """Finds a player's (approximately) optimal bids given others' bids."""
+
+    #: True for strategies offering :meth:`optimize_all`, the lockstep
+    #: all-players entry point ``find_equilibrium`` dispatches Jacobi
+    #: rounds to.
+    supports_lockstep: bool = False
+
+    #: Marginal utilities this strategy computed at the bids it last
+    #: returned, or ``None`` when the last evaluation happened *before*
+    #: the final move (the climb stopped on step size, so the stored
+    #: marginals would be stale).  Lets equilibrium/rebudget seams skip
+    #: re-deriving ``lambda_i`` when the climb already paid for it.
+    last_marginals: Optional[np.ndarray] = None
+
+    #: ``lambda_i`` derived from :attr:`last_marginals` (same formula as
+    #: :meth:`player_lambda`), or ``None`` when stale.
+    last_lambda: Optional[float] = None
 
     @abc.abstractmethod
     def optimize(
@@ -83,6 +111,7 @@ class BiddingStrategy(abc.ABC):
         bids: np.ndarray,
         others: np.ndarray,
         capacities: np.ndarray,
+        marginals: Optional[np.ndarray] = None,
     ) -> float:
         """The player-specific multiplier ``lambda_i`` at a bid vector.
 
@@ -90,8 +119,13 @@ class BiddingStrategy(abc.ABC):
         marginal utility (Equation 4); we report the maximum marginal
         over resources with non-zero bids, which equals that shared
         value at an optimum and degrades gracefully away from one.
+
+        ``marginals`` short-circuits the evaluation when the caller
+        already holds ``dU/db`` at exactly these bids and others (e.g. a
+        climb's :attr:`last_marginals`).
         """
-        marginals = marginal_utility_of_bids(utility, bids, others, capacities)
+        if marginals is None:
+            marginals = marginal_utility_of_bids(utility, bids, others, capacities)
         active = bids > 1e-12
         if not np.any(active):
             return float(marginals.max(initial=0.0))
@@ -147,6 +181,8 @@ class HillClimbBidder(BiddingStrategy):
         step_hint: float | None = None,
     ) -> np.ndarray:
         num_resources = capacities.size
+        self.last_marginals = None
+        self.last_lambda = None
         if budget <= 0.0:
             return np.zeros(num_resources)
         if num_resources == 1:
@@ -173,8 +209,12 @@ class HillClimbBidder(BiddingStrategy):
             else:
                 step = float(np.clip(step_hint, 2.0 * min_step, cold_step))
 
+        # Marginals evaluated at exactly the bids we end up returning, or
+        # None when the climb's last act was a move (stale marginals).
+        final_marginals: Optional[np.ndarray] = None
         while step >= min_step:
             marginals = marginal_utility_of_bids(utility, bids, others, capacities)
+            final_marginals = marginals
             # Donor: lowest marginal among resources we actually bid on.
             # Recipient: highest marginal overall.
             active = bids > 1e-12
@@ -192,10 +232,217 @@ class HillClimbBidder(BiddingStrategy):
             moved = min(step, bids[donor])
             bids[donor] -= moved
             bids[recipient] += moved
+            final_marginals = None
             # Step 3: exponential back-off.
             step *= 0.5
 
+        if final_marginals is not None:
+            self.last_marginals = final_marginals
+            self.last_lambda = self.player_lambda(
+                utility, bids, others, capacities, marginals=final_marginals
+            )
         return bids
+
+
+class VectorHillClimbBidder(HillClimbBidder):
+    """Section 4.1.2's hill climb for *all* players at once, in lockstep.
+
+    Jacobi rounds make players independent within a round (everyone
+    best-responds to the same broadcast bids), so their climbs can be
+    advanced together: one ``(K, M)`` batched marginal evaluation per
+    lockstep iteration serves every still-active player, instead of each
+    player paying its own chain of scalar ``gradient()`` calls.  The
+    per-player arithmetic — warm-start validation, staleness check,
+    donor/recipient selection, step back-off, every stop condition — is
+    the scalar :meth:`HillClimbBidder.optimize` mirrored operation for
+    operation, so the returned bid matrix is *bitwise identical* to N
+    scalar climbs for every built-in utility family (batched gradients
+    reproduce scalar gradients exactly); ``strict=True`` re-runs the
+    scalar climbs and asserts agreement within ``strict_tolerance``
+    (documented slack for utilities whose batched override differs from
+    the scalar path in summation order).
+
+    The scalar :meth:`optimize` entry point is inherited unchanged, so
+    this bidder also works for Gauss–Seidel rounds and any other
+    one-player-at-a-time caller.
+    """
+
+    supports_lockstep = True
+
+    #: Marginals each climb computed at its returned bids (N, M), and a
+    #: per-player flag saying whether they are *fresh* — evaluated at
+    #: exactly the returned bids rather than before a final move.
+    last_marginals_all: Optional[np.ndarray] = None
+    last_fresh: Optional[np.ndarray] = None
+
+    def __init__(
+        self,
+        lambda_tolerance: float = 0.05,
+        step_stop_fraction: float = 0.01,
+        strict: bool = False,
+        strict_tolerance: float = 1e-9,
+    ):
+        super().__init__(lambda_tolerance, step_stop_fraction)
+        self.strict = strict
+        self.strict_tolerance = strict_tolerance
+
+    def optimize_all(
+        self,
+        utilities: Sequence[UtilityFunction],
+        budgets: np.ndarray,
+        others: np.ndarray,
+        capacities: np.ndarray,
+        current_bids: Optional[np.ndarray] = None,
+        step_hints: Optional[np.ndarray] = None,
+        evaluator: Optional[BatchedUtilitySet] = None,
+    ) -> np.ndarray:
+        """Best-respond for every player against fixed ``others`` bids.
+
+        Parameters mirror :meth:`optimize` row-wise: ``budgets`` is
+        ``(N,)``, ``others`` is ``(N, M)`` (row ``i`` is the sum of the
+        *other* players' bids as player ``i`` sees them), and
+        ``current_bids`` / ``step_hints`` are the optional ``(N, M)`` /
+        ``(N,)`` warm-start state.  ``evaluator`` is a prebuilt
+        :class:`~repro.utility.batch.BatchedUtilitySet` over
+        ``utilities`` (built fresh when omitted — pass one when calling
+        every round).  Returns the new ``(N, M)`` bid matrix.
+        """
+        budgets = np.asarray(budgets, dtype=float)
+        others = np.asarray(others, dtype=float)
+        capacities = np.asarray(capacities, dtype=float)
+        num_players = budgets.size
+        num_resources = capacities.size
+        if evaluator is None:
+            evaluator = BatchedUtilitySet(utilities)
+
+        bids = np.zeros((num_players, num_resources))
+        self.last_marginals_all = np.zeros((num_players, num_resources))
+        self.last_fresh = np.zeros(num_players, dtype=bool)
+
+        if num_resources == 1:
+            bids[:, 0] = np.maximum(budgets, 0.0)
+            bids[budgets <= 0.0, 0] = 0.0
+            return bids
+
+        cold_step = budgets / (2.0 * num_resources)
+        min_step = self.step_stop_fraction * budgets
+        step = np.zeros(num_players)
+
+        # Per-player initialization, mirroring the scalar climb: warm
+        # bids when reusable, equal split otherwise; cold step unless a
+        # usable hint exists AND the seed is not stale.
+        hinted: list = []
+        for i in range(num_players):
+            budget = float(budgets[i])
+            if budget <= 0.0:
+                continue
+            warm = self.warm_start_bids(
+                None if current_bids is None else current_bids[i],
+                budget,
+                num_resources,
+            )
+            if warm is None:
+                bids[i] = budget / num_resources
+                step[i] = cold_step[i]
+            else:
+                bids[i] = warm
+                if step_hints is None:
+                    step[i] = cold_step[i]
+                else:
+                    hinted.append(i)
+
+        if hinted:
+            # Batched staleness probe: one vectorized marginal evaluation
+            # replaces one scalar gradient call per hinted player.
+            rows = np.asarray(hinted, dtype=np.intp)
+            marginals = marginal_utility_of_bids_batch(
+                bids[rows], others[rows], capacities,
+                evaluator=evaluator, players=rows,
+            )
+            donors = bids[rows] > 1e-12
+            has_donor = donors.any(axis=1)
+            hi = marginals.max(axis=1)
+            lo = np.where(donors, marginals, np.inf).min(axis=1)
+            stale = has_donor & (hi > 0.0) & (hi - lo > 2.0 * self.lambda_tolerance * hi)
+            hints = np.asarray(step_hints, dtype=float)[rows]
+            step[rows] = np.where(
+                stale,
+                cold_step[rows],
+                np.clip(hints, 2.0 * min_step[rows], cold_step[rows]),
+            )
+
+        active = (budgets > 0.0) & (step >= min_step)
+        while np.any(active):
+            rows = np.flatnonzero(active)
+            marginals = marginal_utility_of_bids_batch(
+                bids[rows], others[rows], capacities,
+                evaluator=evaluator, players=rows,
+            )
+            self.last_marginals_all[rows] = marginals
+            self.last_fresh[rows] = True
+            span = np.arange(rows.size)
+            donors = bids[rows] > 1e-12
+            has_donor = donors.any(axis=1)
+            # Donor: lowest marginal among resources the player bids on
+            # (np.inf masking preserves the scalar first-among-ties
+            # index); recipient: highest marginal overall.
+            donor = np.argmin(np.where(donors, marginals, np.inf), axis=1)
+            recipient = np.argmax(marginals, axis=1)
+            hi = marginals[span, recipient]
+            lo = marginals[span, donor]
+            stop = (
+                ~has_donor
+                | (recipient == donor)
+                | (hi <= 0.0)
+                | (hi - lo <= self.lambda_tolerance * hi)
+            )
+            active[rows[stop]] = False
+            move = rows[~stop]
+            if move.size:
+                d = donor[~stop]
+                r = recipient[~stop]
+                moved = np.minimum(step[move], bids[move, d])
+                bids[move, d] -= moved
+                bids[move, r] += moved
+                self.last_fresh[move] = False
+                step[move] *= 0.5
+                active[move] = step[move] >= min_step[move]
+
+        if self.strict:
+            self._assert_scalar_agreement(
+                utilities, budgets, others, capacities,
+                current_bids, step_hints, bids,
+            )
+        return bids
+
+    def _assert_scalar_agreement(
+        self,
+        utilities: Sequence[UtilityFunction],
+        budgets: np.ndarray,
+        others: np.ndarray,
+        capacities: np.ndarray,
+        current_bids: Optional[np.ndarray],
+        step_hints: Optional[np.ndarray],
+        bids: np.ndarray,
+    ) -> None:
+        """Re-run every climb through the scalar path and compare."""
+        reference = HillClimbBidder(self.lambda_tolerance, self.step_stop_fraction)
+        for i in range(budgets.size):
+            expected = reference.optimize(
+                utilities[i],
+                float(budgets[i]),
+                others[i],
+                capacities,
+                current_bids=None if current_bids is None else current_bids[i],
+                step_hint=None if step_hints is None else float(step_hints[i]),
+            )
+            slack = self.strict_tolerance * max(1.0, float(budgets[i]))
+            if not np.all(np.abs(bids[i] - expected) <= slack):
+                raise AssertionError(
+                    f"lockstep climb diverged from the scalar path for "
+                    f"player {i}: {bids[i]!r} vs {expected!r} "
+                    f"(tolerance {slack:g})"
+                )
 
 
 class ExactBidder(BiddingStrategy):

@@ -27,14 +27,16 @@ search.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..qa import sanitize as _sanitize
-from .bidding import BiddingStrategy, HillClimbBidder
+from ..utility.base import EVAL_COUNTERS
+from ..utility.batch import BatchedUtilitySet
+from .bidding import BiddingStrategy, VectorHillClimbBidder
 from .market import Market, MarketState
-from .player import marginal_utility_of_bids
+from .player import marginal_utility_of_bids_batch
 
 __all__ = [
     "PRICE_TOLERANCE",
@@ -143,6 +145,13 @@ class EquilibriumResult:
         :class:`WarmStart`); always populated.
     warm_started:
         Whether this search was itself seeded from previous bids.
+    eval_counts:
+        Utility-evaluation tallies accumulated by this search
+        (:meth:`~repro.utility.base.EvalCounters.since` deltas: scalar
+        value/gradient dispatches, vectorized dispatches, points covered,
+        plus ``scalar_calls`` / ``batch_calls`` / ``total_calls``
+        roll-ups).  Benches and profilers read this instead of
+        monkeypatching the utility classes.
     """
 
     state: MarketState
@@ -153,6 +162,7 @@ class EquilibriumResult:
     price_history: List[np.ndarray] = field(default_factory=list)
     warm_start: Optional[WarmStart] = None
     warm_started: bool = False
+    eval_counts: Optional[Dict[str, int]] = None
 
     @property
     def efficiency(self) -> float:
@@ -194,13 +204,25 @@ def find_equilibrium(
         players re-bid sequentially, each seeing the bids of players
         before it in the round.  Jacobi is the default and the one used
         in all experiments.
+
+    Jacobi rounds dispatch to the bidder's lockstep entry point
+    (``optimize_all``) when it advertises ``supports_lockstep`` — the
+    default :class:`~repro.core.bidding.VectorHillClimbBidder` does —
+    which advances every player's climb with batched utility
+    evaluations; results are bitwise identical to the per-player scalar
+    path.  Gauss–Seidel rounds and custom bidders always take the scalar
+    per-player path.
     """
     if bidder is None:
-        bidder = HillClimbBidder()
+        bidder = VectorHillClimbBidder()
     if update not in ("jacobi", "gauss-seidel"):
         raise ValueError(f"unknown update mode {update!r}")
 
     capacities = market.capacities
+    counters_at_entry = EVAL_COUNTERS.snapshot()
+    utilities_of = [p.utility for p in market.players]
+    lockstep = update == "jacobi" and getattr(bidder, "supports_lockstep", False)
+    evaluator = BatchedUtilitySet(utilities_of) if lockstep else None
     last_moves: Optional[np.ndarray] = None
     anchor: Optional[np.ndarray] = None
     warm_started = False
@@ -219,6 +241,7 @@ def find_equilibrium(
 
     converged = False
     iterations = 0
+    damped = False
     for iterations in range(1, max_iterations + 1):
         totals = bids.sum(axis=0)
         previous_bids = bids
@@ -227,7 +250,17 @@ def find_equilibrium(
         # later round — and every warm-started round — resumes from the
         # player's previous bids with a step sized to its last move.
         resume = warm_started or iterations > 1
-        if update == "jacobi":
+        if lockstep:
+            bids = bidder.optimize_all(
+                utilities_of,
+                market.budgets,
+                totals[None, :] - bids,
+                capacities,
+                current_bids=bids if resume else None,
+                step_hints=last_moves,
+                evaluator=evaluator,
+            )
+        elif update == "jacobi":
             new_bids = np.empty_like(bids)
             for i, player in enumerate(market.players):
                 others = totals - bids[i]
@@ -241,10 +274,18 @@ def find_equilibrium(
                 )
             bids = new_bids
         else:
+            # Sequential rounds maintain the per-resource bid totals
+            # incrementally (O(N·M) per round) instead of re-summing the
+            # whole matrix for every player (O(N²·M)).  The running
+            # totals accumulate each player's delta, so they can drift
+            # from a fresh column sum by float-rounding dust — the
+            # regression test pins the resulting equilibria to the
+            # recomputed-sum oracle within 1e-9.
             bids = bids.copy()
+            running_totals = bids.sum(axis=0)
             for i, player in enumerate(market.players):
-                others = bids.sum(axis=0) - bids[i]
-                bids[i] = bidder.optimize(
+                others = running_totals - bids[i]
+                new_row = bidder.optimize(
                     player.utility,
                     player.budget,
                     others,
@@ -252,6 +293,8 @@ def find_equilibrium(
                     current_bids=bids[i] if resume else None,
                     step_hint=None if last_moves is None else float(last_moves[i]),
                 )
+                running_totals += new_row - bids[i]
+                bids[i] = new_row
 
         new_prices = market.prices(bids)
         # Simultaneous (Jacobi) best responses can settle into a
@@ -270,7 +313,8 @@ def find_equilibrium(
         # loop has clearly failed to settle on its own, damp every
         # round (averaging is a no-op at a fixed point).
         slow = iterations > 8 and not _prices_stable(prices, new_prices, price_tolerance)
-        if update == "jacobi" and (oscillating or slow):
+        damped = update == "jacobi" and (oscillating or slow)
+        if damped:
             bids = 0.5 * (previous_bids + bids)
             new_prices = market.prices(bids)
         last_moves = np.abs(bids - previous_bids).max(axis=1)
@@ -299,16 +343,10 @@ def find_equilibrium(
         _sanitize.check_convergence(converged, price_history, price_tolerance)
     state = market.allocate(bids)
     utilities = market.utilities(state.allocations)
-    lambdas = np.array(
-        [
-            BiddingStrategy.player_lambda(
-                player.utility,
-                bids[i],
-                bids.sum(axis=0) - bids[i],
-                capacities,
-            )
-            for i, player in enumerate(market.players)
-        ]
+    lambdas = _final_lambdas(
+        market, bids, capacities, bidder,
+        lockstep=lockstep, evaluator=evaluator,
+        last_moves=last_moves if iterations > 0 else None, damped=damped,
     )
     return EquilibriumResult(
         state=state,
@@ -332,6 +370,70 @@ def find_equilibrium(
             ),
         ),
         warm_started=warm_started,
+        eval_counts=EVAL_COUNTERS.since(counters_at_entry),
+    )
+
+
+def _final_lambdas(
+    market: Market,
+    bids: np.ndarray,
+    capacities: np.ndarray,
+    bidder: BiddingStrategy,
+    *,
+    lockstep: bool,
+    evaluator: Optional[BatchedUtilitySet],
+    last_moves: Optional[np.ndarray],
+    damped: bool,
+) -> np.ndarray:
+    """Per-player ``lambda_i`` at the final bid matrix.
+
+    The scalar path recomputes one marginal vector per player (the
+    pre-existing behaviour).  The lockstep path needs at most one batched
+    evaluation — and none at all when the final round's climbs already
+    evaluated marginals at exactly these bids: that requires every
+    player's marginals to be *fresh* (:attr:`last_fresh`), no bid to have
+    moved in the final round (``last_moves`` all zero, so each climb's
+    round-start ``others`` equals the final matrix's), and no oscillation
+    damping to have averaged the matrix after the climbs ran.  Warm
+    verification rounds — the common case in epoch chains — meet all
+    three, so their lambda collection is free.
+    """
+    totals = bids.sum(axis=0)
+    if lockstep:
+        reusable = (
+            not damped
+            and last_moves is not None
+            # "no player moved": last_moves entries are non-negative
+            # maxima of |bid deltas|, so none-positive means all-zero
+            # (spelled without a float equality).
+            and not np.any(last_moves > 0.0)
+            and getattr(bidder, "last_fresh", None) is not None
+            and bool(np.all(bidder.last_fresh))
+        )
+        if reusable:
+            marginals = bidder.last_marginals_all
+        else:
+            marginals = marginal_utility_of_bids_batch(
+                bids, totals[None, :] - bids, capacities, evaluator=evaluator
+            )
+        # Vectorized player_lambda: max marginal over actively-bid
+        # resources, falling back to max(marginals, 0) for all-zero rows.
+        active = bids > 1e-12
+        has_active = active.any(axis=1)
+        over_active = np.where(active, marginals, -np.inf).max(axis=1)
+        return np.where(
+            has_active, over_active, np.maximum(marginals.max(axis=1), 0.0)
+        )
+    return np.array(
+        [
+            BiddingStrategy.player_lambda(
+                player.utility,
+                bids[i],
+                totals - bids[i],
+                capacities,
+            )
+            for i, player in enumerate(market.players)
+        ]
     )
 
 

@@ -9,14 +9,26 @@ local, which is what makes the mechanism distributed and scalable.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import MarketConfigurationError
-from ..utility.base import UtilityFunction
+from ..qa import sanitize as _sanitize
+from ..utility.base import EVAL_COUNTERS, UtilityFunction
 
-__all__ = ["Player", "bid_to_allocation", "marginal_utility_of_bids"]
+__all__ = [
+    "Player",
+    "bid_to_allocation",
+    "bid_to_allocation_batch",
+    "marginal_utility_of_bids",
+    "marginal_utility_of_bids_batch",
+]
+
+#: Finite stand-in for the infinite first-bid marginal (``y_j == 0``):
+#: large enough to dominate any real marginal, scaled by capacity so the
+#: bytes-vs-watts resources keep their relative ordering.
+_FIRST_BID_RATE = 1e9
 
 
 class Player:
@@ -59,7 +71,30 @@ def bid_to_allocation(bids: np.ndarray, others: np.ndarray, capacities: np.ndarr
     total = bids + others
     with np.errstate(invalid="ignore", divide="ignore"):
         shares = np.where(total > 0.0, bids / np.where(total > 0.0, total, 1.0), 0.0)
-    return shares * capacities
+    allocation = shares * capacities
+    if _sanitize.ACTIVE:
+        _sanitize.check_player_allocations(allocation, capacities)
+    return allocation
+
+
+def bid_to_allocation_batch(
+    bids: np.ndarray, others: np.ndarray, capacities: np.ndarray
+) -> np.ndarray:
+    """Equation 2 applied to a ``(K, M)`` batch of bid rows at once.
+
+    Row ``k`` of the result equals ``bid_to_allocation(bids[k],
+    others[k], capacities)`` bitwise — the arithmetic is identical, numpy
+    merely broadcasts it over the leading axis.  ``others`` may be
+    ``(K, M)`` (each row's view of the rest of the market, the Jacobi
+    lockstep case) or ``(M,)`` broadcast to all rows.
+    """
+    total = bids + others
+    with np.errstate(invalid="ignore", divide="ignore"):
+        shares = np.where(total > 0.0, bids / np.where(total > 0.0, total, 1.0), 0.0)
+    allocations = shares * capacities
+    if _sanitize.ACTIVE:
+        _sanitize.check_player_allocations(allocations, capacities)
+    return allocations
 
 
 def marginal_utility_of_bids(
@@ -78,6 +113,7 @@ def marginal_utility_of_bids(
     positive bid, so the marginal value of bidding more is zero.
     """
     allocation = bid_to_allocation(bids, others, capacities)
+    EVAL_COUNTERS.scalar_gradient_calls += 1
     du_dr = np.asarray(utility.gradient(allocation), dtype=float)
     total = bids + others
     with np.errstate(invalid="ignore", divide="ignore"):
@@ -90,5 +126,47 @@ def marginal_utility_of_bids(
         )
     # Replace the infinite first-bid marginals with a large finite value
     # proportional to the utility slope so comparisons stay meaningful.
-    dr_db = np.where(np.isinf(dr_db), capacities * 1e9, dr_db)
-    return du_dr * dr_db
+    dr_db = np.where(np.isinf(dr_db), capacities * _FIRST_BID_RATE, dr_db)
+    marginals = du_dr * dr_db
+    if _sanitize.ACTIVE:
+        _sanitize.check_marginals(marginals)
+    return marginals
+
+
+def marginal_utility_of_bids_batch(
+    bids: np.ndarray,
+    others: np.ndarray,
+    capacities: np.ndarray,
+    *,
+    utility: Optional[UtilityFunction] = None,
+    evaluator=None,
+    players: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Equation 7 marginals for a ``(K, M)`` batch of bid rows.
+
+    Row ``k`` equals ``marginal_utility_of_bids(utility_k, bids[k],
+    others[k], capacities)`` bitwise.  Callers either pass a shared
+    ``utility`` (all rows belong to the same player) or an ``evaluator``
+    — a :class:`~repro.utility.batch.BatchedUtilitySet` — plus the
+    ``players`` row-ownership vector it should evaluate each allocation
+    row under (the multi-player lockstep case).
+    """
+    allocations = bid_to_allocation_batch(bids, others, capacities)
+    if evaluator is not None:
+        du_dr = evaluator.gradients(allocations, players)
+    elif utility is not None:
+        du_dr = np.asarray(utility.gradient_batch(allocations), dtype=float)
+    else:
+        raise ValueError("pass either a utility or a batched evaluator")
+    total = bids + others
+    with np.errstate(invalid="ignore", divide="ignore"):
+        dr_db = np.where(
+            total > 0.0,
+            others * capacities / np.where(total > 0.0, total, 1.0) ** 2,
+            np.inf,
+        )
+    dr_db = np.where(np.isinf(dr_db), capacities * _FIRST_BID_RATE, dr_db)
+    marginals = du_dr * dr_db
+    if _sanitize.ACTIVE:
+        _sanitize.check_marginals(marginals)
+    return marginals

@@ -21,7 +21,12 @@ Invariants enforced (identifier -> paper anchor):
 * ``spending-within-budget``     — Sec. 2.1: each player's bids sum to at
   most its budget.
 * ``allocation-within-capacity`` — Eq. 2: allocations are non-negative
-  and per-resource totals never exceed capacity.
+  and per-resource totals never exceed capacity.  The bidding seams
+  (scalar and batched alike) apply the per-player form: no single
+  player's allocation may exceed a resource's capacity either.
+* ``marginal-finite``             — Eq. 7: the marginal utilities the
+  hill climb compares must be finite (the first-bid ``y_j == 0`` case is
+  mapped to a large finite sentinel before comparison).
 * ``mur-in-unit-interval`` / ``mbr-in-unit-interval`` — Defs. 5/6 and
   Theorems 1/2, whose bounds are only defined on [0, 1].
 * ``rebudget-budget-floor``      — Sec. 4.2: budgets never fall below
@@ -53,6 +58,8 @@ __all__ = [
     "check_prices",
     "check_spending",
     "check_allocation",
+    "check_player_allocations",
+    "check_marginals",
     "check_unit_interval",
     "check_budget_floor",
     "check_convergence",
@@ -145,6 +152,49 @@ def check_allocation(allocations: np.ndarray, capacities: np.ndarray) -> None:
             "allocation-within-capacity",
             f"resource {j} allocates {float(totals[j]):.6g} of capacity "
             f"{float(capacities[j]):.6g}",
+        )
+
+
+def check_player_allocations(allocations: np.ndarray, capacities: np.ndarray) -> None:
+    """``allocation-within-capacity``, per-player form.
+
+    The bid-to-allocation seams hand out one row per player (or per
+    batched climb point); each row must be non-negative and elementwise
+    within capacity.  Shared by the scalar and batched paths so a
+    vectorized rewrite cannot silently relax the Eq. 2 contract.
+    """
+    allocations = np.asarray(allocations, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if np.any(allocations < -TOLERANCE):
+        _fail(
+            "allocation-within-capacity",
+            f"negative per-player allocation {float(allocations.min()):.6g}",
+        )
+    slack = TOLERANCE * np.maximum(1.0, np.abs(capacities))
+    if np.any(allocations > capacities + slack):
+        excess = allocations - capacities
+        j = int(np.argmax(excess.max(axis=0) if excess.ndim == 2 else excess))
+        _fail(
+            "allocation-within-capacity",
+            f"a player's allocation on resource {j} exceeds its capacity "
+            f"{float(capacities[j]):.6g} (Eq. 2 shares lie in [0, 1])",
+        )
+
+
+def check_marginals(marginals: np.ndarray) -> None:
+    """``marginal-finite``: every marginal the climb compares is finite.
+
+    A NaN or infinity here means a utility gradient blew up (or the
+    first-bid sentinel substitution was skipped); argmax/argmin over such
+    values silently corrupts the climb's donor/recipient choices.
+    """
+    marginals = np.asarray(marginals, dtype=float)
+    if not np.all(np.isfinite(marginals)):
+        bad = marginals[~np.isfinite(marginals)]
+        _fail(
+            "marginal-finite",
+            f"non-finite marginal utility {bad.ravel()[0]!r} reached the "
+            f"hill climb's comparison step",
         )
 
 

@@ -2,11 +2,15 @@
 curves, and upper-convex-hull (Talus-style) convexification."""
 
 from .base import (
+    EVAL_COUNTERS,
+    EvalCounters,
     UtilityFunction,
     is_concave_on_grid,
     is_nondecreasing_on_grid,
     numeric_gradient,
+    numeric_gradient_batch,
 )
+from .batch import BatchedUtilitySet, StackedGrids
 from .convex_hull import PiecewiseLinearConcave, hull_interpolate, upper_convex_hull
 from .functions import (
     AdditiveUtility,
@@ -17,11 +21,17 @@ from .functions import (
     SaturatingUtility,
     ScaledUtility,
 )
-from .tabular import GridUtility2D, HullUtility1D, TabularUtility1D
+from .tabular import GridUtility2D, HullUtility1D, TabularUtility1D, grid_bilinear_batch
 
 __all__ = [
     "UtilityFunction",
+    "EvalCounters",
+    "EVAL_COUNTERS",
     "numeric_gradient",
+    "numeric_gradient_batch",
+    "BatchedUtilitySet",
+    "StackedGrids",
+    "grid_bilinear_batch",
     "is_concave_on_grid",
     "is_nondecreasing_on_grid",
     "upper_convex_hull",

@@ -17,19 +17,97 @@ that range.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 
 __all__ = [
     "UtilityFunction",
+    "EvalCounters",
+    "EVAL_COUNTERS",
     "numeric_gradient",
+    "numeric_gradient_batch",
     "is_concave_on_grid",
     "is_nondecreasing_on_grid",
 ]
 
 #: Default relative step used by the numeric differentiator.
 _GRADIENT_EPS = 1e-6
+
+
+class EvalCounters:
+    """Running tally of utility-layer evaluations made by the market stack.
+
+    The equilibrium search snapshots these around every run so
+    :class:`~repro.core.equilibrium.EquilibriumResult` can report how many
+    Python-level utility evaluations the search cost — benches and
+    profilers read the result instead of monkeypatching the utility
+    classes.  Counting semantics:
+
+    * ``scalar_value_calls`` / ``scalar_gradient_calls`` — one per scalar
+      ``value()`` / ``gradient()`` dispatch made through the market seams
+      (``marginal_utility_of_bids``, ``Market.utilities``) or by numeric
+      differentiation, and one per point when a batched entry point has
+      to fall back to the scalar loop.
+    * ``batch_value_calls`` / ``batch_gradient_calls`` — one per
+      *vectorized* dispatch (``value_batch`` / ``gradient_batch`` with a
+      fast override, or a stacked-grid group evaluation), however many
+      points it covers.
+    * ``batch_points`` — total points covered by those vectorized
+      dispatches.
+
+    Counters are per-process (each :class:`~repro.exec.SweepExecutor`
+    worker tallies its own) and are never consulted by the allocation
+    logic, so they cannot affect results.
+    """
+
+    __slots__ = (
+        "scalar_value_calls",
+        "scalar_gradient_calls",
+        "batch_value_calls",
+        "batch_gradient_calls",
+        "batch_points",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.scalar_value_calls = 0
+        self.scalar_gradient_calls = 0
+        self.batch_value_calls = 0
+        self.batch_gradient_calls = 0
+        self.batch_points = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """The current tallies as a plain dict (JSON-ready)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def since(self, snapshot: Dict[str, int]) -> Dict[str, int]:
+        """Per-field deltas accumulated after ``snapshot`` was taken.
+
+        The returned dict additionally carries ``scalar_calls`` /
+        ``batch_calls`` / ``total_calls`` roll-ups, which is what the
+        hot-loop bench's ">= 3x fewer Python-level utility calls" claim
+        is measured on.
+        """
+        delta = {
+            name: getattr(self, name) - snapshot.get(name, 0)
+            for name in self.__slots__
+        }
+        delta["scalar_calls"] = (
+            delta["scalar_value_calls"] + delta["scalar_gradient_calls"]
+        )
+        delta["batch_calls"] = (
+            delta["batch_value_calls"] + delta["batch_gradient_calls"]
+        )
+        delta["total_calls"] = delta["scalar_calls"] + delta["batch_calls"]
+        return delta
+
+
+#: Process-global tally every seam increments.  A plain attribute-bearing
+#: object (not a dict) so the hot path pays one attribute add per event.
+EVAL_COUNTERS = EvalCounters()
 
 
 class UtilityFunction(abc.ABC):
@@ -59,8 +137,48 @@ class UtilityFunction(abc.ABC):
         """Marginal utility of a single ``resource`` at ``allocation``."""
         return float(self.gradient(allocation)[resource])
 
+    def value_batch(self, allocations: np.ndarray) -> np.ndarray:
+        """Utilities of a ``(K, num_resources)`` batch of allocations.
+
+        Returns a ``(K,)`` vector.  Point ``k`` of the result equals
+        ``value(allocations[k])`` exactly — subclasses with vectorized
+        overrides mirror the scalar arithmetic (same clamping, same
+        operation order) so the two paths agree bitwise; the generic
+        fallback here simply loops the scalar method (and counts each
+        point as a scalar evaluation, so batched callers that land on it
+        do not under-report their cost).
+        """
+        points = _as_point_matrix(allocations, self.num_resources)
+        EVAL_COUNTERS.scalar_value_calls += points.shape[0]
+        return np.array([self.value(p) for p in points], dtype=float)
+
+    def gradient_batch(self, allocations: np.ndarray) -> np.ndarray:
+        """Per-resource marginals of a ``(K, num_resources)`` batch.
+
+        Returns a ``(K, num_resources)`` matrix; row ``k`` equals
+        ``gradient(allocations[k])`` exactly.  The generic fallback loops
+        the scalar method, so every subclass — including external ones
+        that only implement the scalar interface — is batch-callable.
+        """
+        points = _as_point_matrix(allocations, self.num_resources)
+        EVAL_COUNTERS.scalar_gradient_calls += points.shape[0]
+        if points.shape[0] == 0:
+            return np.zeros_like(points)
+        return np.stack([np.asarray(self.gradient(p), dtype=float) for p in points])
+
     def __call__(self, allocation: Sequence[float]) -> float:
         return self.value(allocation)
+
+
+def _as_point_matrix(allocations: np.ndarray, num_resources: int) -> np.ndarray:
+    """Validate a batched-evaluation input as a ``(K, M)`` float matrix."""
+    points = np.asarray(allocations, dtype=float)
+    if points.ndim != 2 or points.shape[1] != num_resources:
+        raise ValueError(
+            f"batched evaluation expects a (K, {num_resources}) matrix, "
+            f"got shape {points.shape}"
+        )
+    return points
 
 
 def numeric_gradient(func, allocation: Sequence[float], eps: float = _GRADIENT_EPS) -> np.ndarray:
@@ -77,6 +195,7 @@ def numeric_gradient(func, allocation: Sequence[float], eps: float = _GRADIENT_E
         step = eps * max(1.0, abs(point[j]))
         lo = point.copy()
         hi = point.copy()
+        EVAL_COUNTERS.scalar_value_calls += 2
         if point[j] - step >= 0.0:
             lo[j] -= step
             hi[j] += step
@@ -84,6 +203,49 @@ def numeric_gradient(func, allocation: Sequence[float], eps: float = _GRADIENT_E
         else:
             hi[j] += step
             grad[j] = (func(hi) - func(point)) / step
+    return grad
+
+
+def numeric_gradient_batch(
+    value_batch, points: np.ndarray, eps: float = _GRADIENT_EPS
+) -> np.ndarray:
+    """Vectorized central-difference gradients at a ``(K, M)`` batch.
+
+    Mirrors :func:`numeric_gradient` coordinate for coordinate — the same
+    relative step, the same forward-difference fallback at the zero
+    boundary, the same operation order — so the batched gradients agree
+    bitwise with the scalar ones whenever ``value_batch`` agrees bitwise
+    with the scalar ``value``.  All ``2 * K * M`` probe points are
+    evaluated in a single ``value_batch`` dispatch.
+    """
+    points = np.asarray(points, dtype=float)
+    n_points, n_dims = points.shape
+    if n_points == 0:
+        return np.zeros_like(points)
+    steps = eps * np.maximum(1.0, np.abs(points))          # (K, M)
+    forward = points - steps < 0.0                          # (K, M)
+    # Probe layout: for each dim j, K hi-points then K lo-points.  The
+    # lo-point of a forward-difference coordinate is the point itself.
+    probes = np.empty((2 * n_dims * n_points, n_dims), dtype=float)
+    for j in range(n_dims):
+        hi = points.copy()
+        hi[:, j] += steps[:, j]
+        lo = points.copy()
+        lo[:, j] -= np.where(forward[:, j], 0.0, steps[:, j])
+        base = 2 * j * n_points
+        probes[base : base + n_points] = hi
+        probes[base + n_points : base + 2 * n_points] = lo
+    values = np.asarray(value_batch(probes), dtype=float)
+    grad = np.empty_like(points)
+    for j in range(n_dims):
+        base = 2 * j * n_points
+        f_hi = values[base : base + n_points]
+        f_lo = values[base + n_points : base + 2 * n_points]
+        grad[:, j] = np.where(
+            forward[:, j],
+            (f_hi - f_lo) / steps[:, j],
+            (f_hi - f_lo) / (2.0 * steps[:, j]),
+        )
     return grad
 
 

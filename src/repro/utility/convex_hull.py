@@ -106,6 +106,29 @@ class PiecewiseLinearConcave:
     def value(self, x: float) -> float:
         return hull_interpolate(self.xs, self.ys, x)
 
+    def value_batch(self, x: np.ndarray) -> np.ndarray:
+        """Hull values at a 1-D batch of points.
+
+        ``np.interp`` clamps to the end-point values exactly like
+        :func:`hull_interpolate`, so this is the scalar path vectorized —
+        the two agree bitwise.
+        """
+        return np.interp(np.asarray(x, dtype=float), self.xs, self.ys)
+
+    def derivative_batch(self, x: np.ndarray) -> np.ndarray:
+        """Right-derivatives at a 1-D batch of points (0 past the last PoI)."""
+        x = np.asarray(x, dtype=float)
+        if self.slopes.size == 0:
+            return np.zeros_like(x)
+        seg = np.clip(
+            np.searchsorted(self.xs, x, side="right") - 1, 0, self.slopes.size - 1
+        )
+        return np.where(
+            x >= self.xs[-1],
+            0.0,
+            np.where(x < self.xs[0], self.slopes[0], self.slopes[seg]),
+        )
+
     def derivative(self, x: float) -> float:
         """Right-derivative at ``x`` (0 beyond the last vertex).
 

@@ -18,10 +18,10 @@ from typing import Sequence
 
 import numpy as np
 
-from .base import UtilityFunction
+from .base import EVAL_COUNTERS, UtilityFunction, numeric_gradient_batch
 from .convex_hull import PiecewiseLinearConcave
 
-__all__ = ["TabularUtility1D", "HullUtility1D", "GridUtility2D"]
+__all__ = ["TabularUtility1D", "HullUtility1D", "GridUtility2D", "grid_bilinear_batch"]
 
 
 class TabularUtility1D(UtilityFunction):
@@ -56,6 +56,26 @@ class TabularUtility1D(UtilityFunction):
         slope = (self.ys[seg + 1] - self.ys[seg]) / (self.xs[seg + 1] - self.xs[seg])
         return np.array([slope])
 
+    def value_batch(self, allocations: np.ndarray) -> np.ndarray:
+        points = np.asarray(allocations, dtype=float)
+        EVAL_COUNTERS.batch_value_calls += 1
+        EVAL_COUNTERS.batch_points += points.shape[0]
+        return np.interp(points[:, 0], self.xs, self.ys)
+
+    def gradient_batch(self, allocations: np.ndarray) -> np.ndarray:
+        points = np.asarray(allocations, dtype=float)
+        EVAL_COUNTERS.batch_gradient_calls += 1
+        EVAL_COUNTERS.batch_points += points.shape[0]
+        x = points[:, 0]
+        if self.xs.size == 1:
+            return np.zeros_like(points)
+        seg = np.clip(
+            np.searchsorted(self.xs, x, side="right") - 1, 0, self.xs.size - 2
+        )
+        slopes = (self.ys[seg + 1] - self.ys[seg]) / (self.xs[seg + 1] - self.xs[seg])
+        inside = (x >= self.xs[0]) & (x < self.xs[-1])
+        return np.where(inside, slopes, 0.0)[:, None]
+
     def __repr__(self) -> str:
         return f"TabularUtility1D({self.xs.size} samples on [{self.xs[0]}, {self.xs[-1]}])"
 
@@ -77,6 +97,18 @@ class HullUtility1D(UtilityFunction):
 
     def gradient(self, allocation: Sequence[float]) -> np.ndarray:
         return np.array([self.hull.derivative(float(allocation[0]))])
+
+    def value_batch(self, allocations: np.ndarray) -> np.ndarray:
+        points = np.asarray(allocations, dtype=float)
+        EVAL_COUNTERS.batch_value_calls += 1
+        EVAL_COUNTERS.batch_points += points.shape[0]
+        return self.hull.value_batch(points[:, 0])
+
+    def gradient_batch(self, allocations: np.ndarray) -> np.ndarray:
+        points = np.asarray(allocations, dtype=float)
+        EVAL_COUNTERS.batch_gradient_calls += 1
+        EVAL_COUNTERS.batch_points += points.shape[0]
+        return self.hull.derivative_batch(points[:, 0])[:, None]
 
     @property
     def points_of_interest(self):
@@ -133,5 +165,65 @@ class GridUtility2D(UtilityFunction):
             + v11 * tx * ty
         )
 
+    def value_batch(self, allocations: np.ndarray) -> np.ndarray:
+        points = np.asarray(allocations, dtype=float)
+        EVAL_COUNTERS.batch_value_calls += 1
+        EVAL_COUNTERS.batch_points += points.shape[0]
+        if self.xs.size == 1 and self.ys.size == 1:
+            return np.full(points.shape[0], float(self.values[0, 0]))
+        xc = np.clip(points[:, 0], self.xs[0], self.xs[-1])
+        yc = np.clip(points[:, 1], self.ys[0], self.ys[-1])
+        if self.xs.size == 1:
+            return np.interp(yc, self.ys, self.values[0, :])
+        if self.ys.size == 1:
+            return np.interp(xc, self.xs, self.values[:, 0])
+        return grid_bilinear_batch(self.xs, self.ys, self.values, xc, yc)
+
+    def gradient_batch(self, allocations: np.ndarray) -> np.ndarray:
+        # The scalar gradient is the generic numeric differentiator over
+        # value(); mirror it exactly, with all probe points evaluated in
+        # one vectorized value_batch dispatch.
+        points = np.asarray(allocations, dtype=float)
+        EVAL_COUNTERS.batch_gradient_calls += 1
+        EVAL_COUNTERS.batch_points += points.shape[0]
+        return numeric_gradient_batch(self.value_batch, points)
+
     def __repr__(self) -> str:
         return f"GridUtility2D({self.xs.size}x{self.ys.size} grid)"
+
+
+def grid_bilinear_batch(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    values: np.ndarray,
+    xc: np.ndarray,
+    yc: np.ndarray,
+    owners: np.ndarray | None = None,
+) -> np.ndarray:
+    """Bilinear interpolation of pre-clamped points, vectorized.
+
+    This is :meth:`GridUtility2D.value` applied elementwise — identical
+    clamped-index lookups and the identical four-term blend, so results
+    agree bitwise with the scalar path.  ``values`` is ``(nx, ny)`` for a
+    single grid, or ``(G, nx, ny)`` with ``owners[k]`` selecting the grid
+    evaluated at point ``k`` (the stacked multi-player fast path).  Both
+    axes must have at least two samples.
+    """
+    i = np.clip(np.searchsorted(xs, xc, side="right") - 1, 0, xs.size - 2)
+    j = np.clip(np.searchsorted(ys, yc, side="right") - 1, 0, ys.size - 2)
+    x0, x1 = xs[i], xs[i + 1]
+    y0, y1 = ys[j], ys[j + 1]
+    tx = (xc - x0) / (x1 - x0)
+    ty = (yc - y0) / (y1 - y0)
+    if owners is None:
+        v00, v01 = values[i, j], values[i, j + 1]
+        v10, v11 = values[i + 1, j], values[i + 1, j + 1]
+    else:
+        v00, v01 = values[owners, i, j], values[owners, i, j + 1]
+        v10, v11 = values[owners, i + 1, j], values[owners, i + 1, j + 1]
+    return (
+        v00 * (1 - tx) * (1 - ty)
+        + v10 * tx * (1 - ty)
+        + v01 * (1 - tx) * ty
+        + v11 * tx * ty
+    )

@@ -1,0 +1,371 @@
+"""Lockstep multi-player hill climb vs. the scalar reference.
+
+The :class:`VectorHillClimbBidder` advances every player's Section 4.1.2
+climb with batched marginal evaluations; because each per-player decision
+mirrors the scalar arithmetic operation for operation, the bid matrices
+must be *bitwise identical* to N independent scalar climbs — cold, warm,
+stale-seeded, zero-budget, and single-resource alike.  The same holds
+end-to-end through ``find_equilibrium``, where the lockstep path must
+also cut the Python-level utility-call count at least 3x on the paper's
+8-core reference chip.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HillClimbBidder,
+    Market,
+    Player,
+    Resource,
+    ResourceSet,
+    VectorHillClimbBidder,
+    bid_to_allocation,
+    bid_to_allocation_batch,
+    find_equilibrium,
+    marginal_utility_of_bids,
+    marginal_utility_of_bids_batch,
+)
+from repro.utility import LinearUtility, LogUtility, UtilityFunction
+from repro.utility.batch import BatchedUtilitySet
+
+
+def scalar_reference(utilities, budgets, others, capacities, current_bids=None, step_hints=None):
+    """N independent scalar climbs, row for row."""
+    bidder = HillClimbBidder()
+    out = np.zeros((len(utilities), capacities.size))
+    for i, utility in enumerate(utilities):
+        out[i] = bidder.optimize(
+            utility,
+            float(budgets[i]),
+            others[i],
+            capacities,
+            current_bids=None if current_bids is None else current_bids[i],
+            step_hint=None if step_hints is None else float(step_hints[i]),
+        )
+    return out
+
+
+@pytest.fixture
+def mixed_setup(bbpc_problem):
+    """The BBPC chip's grid utilities plus two closed-form stragglers."""
+    utilities = list(bbpc_problem.utilities) + [
+        LogUtility([1.0, 0.5], [2.0e6, 1.0]),
+        LinearUtility([1e-7, 0.02]),
+    ]
+    capacities = bbpc_problem.capacities
+    rng = np.random.default_rng(42)
+    budgets = rng.uniform(20.0, 150.0, size=len(utilities))
+    others = rng.uniform(0.0, 80.0, size=(len(utilities), capacities.size))
+    return utilities, budgets, others, capacities
+
+
+class TestPlayerBatchSeams:
+    """The (K, M) player seams must reproduce their scalar forms row for
+    row — including zero-capacity resources, all-zero bid rows, and the
+    first-bid (nobody-else-bids) marginal."""
+
+    #: Rows covering: ordinary bids, all-zero bids, a first bid on an
+    #: otherwise un-bid resource, and a bid against a dead resource.
+    BIDS = np.array(
+        [[10.0, 5.0, 1.0], [0.0, 0.0, 0.0], [3.0, 0.0, 7.0], [1.0, 1.0, 1.0]]
+    )
+    OTHERS = np.array(
+        [[20.0, 10.0, 0.0], [5.0, 5.0, 5.0], [0.0, 0.0, 2.0], [9.0, 0.0, 4.0]]
+    )
+    #: Middle resource has zero capacity (e.g. a powered-off domain).
+    CAPACITIES = np.array([10.0, 0.0, 5.0])
+
+    def test_allocation_batch_matches_scalar(self):
+        batch = bid_to_allocation_batch(self.BIDS, self.OTHERS, self.CAPACITIES)
+        for k in range(self.BIDS.shape[0]):
+            expected = bid_to_allocation(
+                self.BIDS[k], self.OTHERS[k], self.CAPACITIES
+            )
+            assert np.array_equal(batch[k], expected)
+
+    def test_allocation_batch_broadcasts_shared_others(self):
+        shared = self.OTHERS[0]
+        batch = bid_to_allocation_batch(self.BIDS, shared, self.CAPACITIES)
+        for k in range(self.BIDS.shape[0]):
+            expected = bid_to_allocation(self.BIDS[k], shared, self.CAPACITIES)
+            assert np.array_equal(batch[k], expected)
+
+    def test_marginal_batch_matches_scalar(self):
+        utility = LogUtility([1.0, 0.5, 2.0], [2.0, 1.0, 3.0])
+        batch = marginal_utility_of_bids_batch(
+            self.BIDS, self.OTHERS, self.CAPACITIES, utility=utility
+        )
+        for k in range(self.BIDS.shape[0]):
+            expected = marginal_utility_of_bids(
+                utility, self.BIDS[k], self.OTHERS[k], self.CAPACITIES
+            )
+            assert np.array_equal(batch[k], expected)
+
+    def test_marginal_batch_requires_an_evaluation_route(self):
+        with pytest.raises(ValueError):
+            marginal_utility_of_bids_batch(
+                self.BIDS, self.OTHERS, self.CAPACITIES
+            )
+
+
+class TestOptimizeAll:
+    def test_cold_matches_scalar_bitwise(self, mixed_setup):
+        utilities, budgets, others, capacities = mixed_setup
+        bids = VectorHillClimbBidder().optimize_all(
+            utilities, budgets, others, capacities
+        )
+        expected = scalar_reference(utilities, budgets, others, capacities)
+        assert np.array_equal(bids, expected)
+
+    def test_warm_with_hints_matches_scalar_bitwise(self, mixed_setup):
+        utilities, budgets, others, capacities = mixed_setup
+        cold = scalar_reference(utilities, budgets, others, capacities)
+        # Perturb the seed slightly and hand every player a small hint;
+        # some rows will probe as stale (full-mobility climb) and some
+        # fresh — both branches must mirror the scalar path.
+        rng = np.random.default_rng(7)
+        seed = cold * rng.uniform(0.9, 1.1, size=cold.shape)
+        seed = seed * (budgets / seed.sum(axis=1))[:, None]
+        hints = rng.uniform(0.5, 5.0, size=budgets.size)
+        bids = VectorHillClimbBidder().optimize_all(
+            utilities, budgets, others, capacities,
+            current_bids=seed, step_hints=hints,
+        )
+        expected = scalar_reference(
+            utilities, budgets, others, capacities,
+            current_bids=seed, step_hints=hints,
+        )
+        assert np.array_equal(bids, expected)
+
+    def test_zero_budget_players(self, mixed_setup):
+        utilities, budgets, others, capacities = mixed_setup
+        budgets = budgets.copy()
+        budgets[1] = 0.0
+        budgets[3] = -5.0
+        bids = VectorHillClimbBidder().optimize_all(
+            utilities, budgets, others, capacities
+        )
+        expected = scalar_reference(utilities, budgets, others, capacities)
+        assert np.array_equal(bids, expected)
+        assert np.all(bids[1] == 0.0) and np.all(bids[3] == 0.0)
+
+    def test_single_resource_short_circuit(self):
+        utilities = [LogUtility([1.0]), LogUtility([2.0]), LogUtility([0.5])]
+        budgets = np.array([10.0, 0.0, 3.0])
+        others = np.array([[5.0], [5.0], [5.0]])
+        capacities = np.array([4.0])
+        bids = VectorHillClimbBidder().optimize_all(
+            utilities, budgets, others, capacities
+        )
+        expected = scalar_reference(utilities, budgets, others, capacities)
+        assert np.array_equal(bids, expected)
+
+    def test_prebuilt_evaluator_gives_same_answer(self, mixed_setup):
+        utilities, budgets, others, capacities = mixed_setup
+        evaluator = BatchedUtilitySet(utilities)
+        with_eval = VectorHillClimbBidder().optimize_all(
+            utilities, budgets, others, capacities, evaluator=evaluator
+        )
+        without = VectorHillClimbBidder().optimize_all(
+            utilities, budgets, others, capacities
+        )
+        assert np.array_equal(with_eval, without)
+
+
+class FlippedGradient(UtilityFunction):
+    """Scalar and batched gradients deliberately disagree (test rig)."""
+
+    num_resources = 2
+
+    def value(self, allocation):
+        r = np.asarray(allocation, dtype=float)
+        return float(2.0 * r[0] + r[1])
+
+    def gradient(self, allocation):
+        return np.array([2.0, 1.0])
+
+    def gradient_batch(self, allocations):
+        points = np.asarray(allocations, dtype=float)
+        return np.tile([1.0, 2.0], (points.shape[0], 1))  # flipped!
+
+
+class TestStrictMode:
+    def test_strict_passes_on_builtin_utilities(self, mixed_setup):
+        utilities, budgets, others, capacities = mixed_setup
+        strict = VectorHillClimbBidder(strict=True)
+        loose = VectorHillClimbBidder()
+        assert np.array_equal(
+            strict.optimize_all(utilities, budgets, others, capacities),
+            loose.optimize_all(utilities, budgets, others, capacities),
+        )
+
+    def test_strict_trips_on_divergent_batch_override(self):
+        utilities = [FlippedGradient(), FlippedGradient()]
+        budgets = np.array([100.0, 100.0])
+        others = np.array([[10.0, 10.0], [10.0, 10.0]])
+        capacities = np.array([4.0, 4.0])
+        with pytest.raises(AssertionError, match="diverged"):
+            VectorHillClimbBidder(strict=True).optimize_all(
+                utilities, budgets, others, capacities
+            )
+
+
+class TestFindEquilibriumLockstep:
+    def _market(self, problem):
+        return problem.build_market(np.full(problem.num_players, 100.0))
+
+    def test_vector_matches_scalar_bitwise(self, bbpc_problem):
+        market = self._market(bbpc_problem)
+        scalar = find_equilibrium(market, bidder=HillClimbBidder())
+        vector = find_equilibrium(market, bidder=VectorHillClimbBidder())
+        assert np.array_equal(vector.state.bids, scalar.state.bids)
+        assert np.array_equal(vector.state.allocations, scalar.state.allocations)
+        assert np.array_equal(vector.lambdas, scalar.lambdas)
+        assert vector.converged == scalar.converged
+        assert vector.iterations == scalar.iterations
+
+    def test_vector_cuts_utility_calls_3x(self, bbpc_problem):
+        market = self._market(bbpc_problem)
+        scalar = find_equilibrium(market, bidder=HillClimbBidder())
+        vector = find_equilibrium(market, bidder=VectorHillClimbBidder())
+        assert scalar.eval_counts is not None and vector.eval_counts is not None
+        assert scalar.eval_counts["total_calls"] >= 3 * vector.eval_counts["total_calls"]
+
+    def test_warm_verification_round_matches_scalar(self, bbpc_problem):
+        market = self._market(bbpc_problem)
+        cold = find_equilibrium(market, bidder=VectorHillClimbBidder())
+        warm_scalar = find_equilibrium(
+            market, bidder=HillClimbBidder(), warm_start=cold.warm_start
+        )
+        warm_vector = find_equilibrium(
+            market, bidder=VectorHillClimbBidder(), warm_start=cold.warm_start
+        )
+        assert warm_vector.iterations == warm_scalar.iterations
+        assert np.array_equal(warm_vector.state.bids, warm_scalar.state.bids)
+        # The reused-lambda fast path must still agree bitwise with the
+        # scalar path's freshly computed lambdas.
+        assert np.array_equal(warm_vector.lambdas, warm_scalar.lambdas)
+
+    def test_warm_verification_round_reuses_climb_marginals(self, bbpc_problem):
+        market = self._market(bbpc_problem)
+        cold = find_equilibrium(market, bidder=VectorHillClimbBidder())
+        warm = find_equilibrium(
+            market, bidder=VectorHillClimbBidder(), warm_start=cold.warm_start
+        )
+        assert warm.iterations == 1
+        # One batched staleness probe + one climb evaluation; the final
+        # lambda collection reuses the climb's marginals instead of
+        # paying a third batched dispatch.
+        assert warm.eval_counts["batch_gradient_calls"] == 2
+
+    def test_default_bidder_is_lockstep(self, bbpc_problem):
+        market = self._market(bbpc_problem)
+        default = find_equilibrium(market)
+        explicit = find_equilibrium(market, bidder=VectorHillClimbBidder())
+        assert np.array_equal(default.state.bids, explicit.state.bids)
+        assert default.eval_counts["batch_gradient_calls"] > 0
+
+
+class TestGaussSeidelIncrementalTotals:
+    def test_matches_recomputed_sum_oracle(self, bbpc_problem):
+        """The O(N*M)-per-round running totals must reproduce the old
+        recompute-``bids.sum(axis=0)``-per-player semantics: identical
+        convergence and bids within float-dust (1e-9 of budget)."""
+        market = bbpc_problem.build_market(
+            np.full(bbpc_problem.num_players, 100.0)
+        )
+        result = find_equilibrium(
+            market, bidder=HillClimbBidder(), update="gauss-seidel"
+        )
+
+        # Reference loop: the pre-optimization Gauss-Seidel semantics,
+        # re-summing the whole bid matrix for every player.
+        bidder = HillClimbBidder()
+        capacities = market.capacities
+        bids = market.equal_split_bids()
+        prices = market.prices(bids)
+        last_moves = None
+        converged = False
+        iterations = 0
+        for iterations in range(1, 31):
+            previous_bids = bids
+            resume = iterations > 1
+            bids = bids.copy()
+            for i, player in enumerate(market.players):
+                others = bids.sum(axis=0) - bids[i]
+                bids[i] = bidder.optimize(
+                    player.utility,
+                    player.budget,
+                    others,
+                    capacities,
+                    current_bids=bids[i] if resume else None,
+                    step_hint=None if last_moves is None else float(last_moves[i]),
+                )
+            new_prices = market.prices(bids)
+            last_moves = np.abs(bids - previous_bids).max(axis=1)
+            stable = np.abs(new_prices - prices) <= 0.01 * np.where(
+                np.maximum(np.abs(prices), np.abs(new_prices)) > 0.0,
+                np.maximum(np.abs(prices), np.abs(new_prices)),
+                1.0,
+            )
+            prices = new_prices
+            if np.all(stable):
+                converged = True
+                break
+
+        assert result.converged == converged
+        assert result.iterations == iterations
+        np.testing.assert_allclose(
+            result.state.bids, bids, rtol=0.0, atol=1e-9 * 100.0
+        )
+
+
+class TestLastLambdaExposure:
+    def test_fresh_exit_exposes_lambda(self):
+        # A climb that stops on the tolerance condition evaluated its
+        # marginals at exactly the returned bids: lambda is free.
+        bidder = HillClimbBidder()
+        utility = LogUtility([1.0, 1.0], [1.0, 1.0])
+        others = np.array([50.0, 50.0])
+        capacities = np.array([10.0, 5.0])
+        bids = bidder.optimize(utility, 100.0, others, capacities)
+        assert bidder.last_marginals is not None
+        assert bidder.last_lambda == bidder.player_lambda(
+            utility, bids, others, capacities
+        )
+
+    def test_stale_exit_exposes_nothing(self):
+        # A heavily lopsided linear utility keeps moving money until the
+        # step decays below the floor, so the climb's last act is a move
+        # and the stored marginals would be stale.
+        bidder = HillClimbBidder()
+        utility = LinearUtility([1.0, 100.0])
+        others = np.array([1000.0, 0.01])
+        capacities = np.array([10.0, 5.0])
+        bidder.optimize(utility, 100.0, others, capacities)
+        assert bidder.last_marginals is None
+        assert bidder.last_lambda is None
+
+    def test_reset_between_calls(self):
+        bidder = HillClimbBidder()
+        utility = LogUtility([1.0, 1.0], [1.0, 1.0])
+        others = np.array([50.0, 50.0])
+        capacities = np.array([10.0, 5.0])
+        bidder.optimize(utility, 100.0, others, capacities)
+        assert bidder.last_lambda is not None
+        bidder.optimize(utility, 0.0, others, capacities)  # zero budget
+        assert bidder.last_lambda is None
+
+
+def test_gauss_seidel_keeps_scalar_path(bbpc_problem):
+    """GS rounds are sequential by construction; the lockstep bidder must
+    fall back to its inherited scalar ``optimize`` there and still agree
+    with the plain scalar bidder."""
+    market = bbpc_problem.build_market(np.full(bbpc_problem.num_players, 100.0))
+    scalar = find_equilibrium(market, bidder=HillClimbBidder(), update="gauss-seidel")
+    vector = find_equilibrium(
+        market, bidder=VectorHillClimbBidder(), update="gauss-seidel"
+    )
+    assert np.array_equal(vector.state.bids, scalar.state.bids)
+    assert vector.eval_counts["batch_gradient_calls"] == 0

@@ -14,11 +14,13 @@ from repro.core import (
     AllocationProblem,
     Market,
     ReBudgetConfig,
+    marginal_utility_of_bids,
+    marginal_utility_of_bids_batch,
     run_rebudget,
 )
 from repro.exceptions import SanitizerError
 from repro.qa import sanitize
-from repro.utility import LogUtility
+from repro.utility import LogUtility, UtilityFunction
 
 
 @pytest.fixture
@@ -138,6 +140,35 @@ class TestDirectChecks:
             np.array([100.0, 40.0]), floor=40.0, initial_budget=100.0
         )
 
+    def test_per_player_overallocation(self):
+        # The per-player form: a single row exceeding capacity trips even
+        # though no column total is computed.
+        with trips("allocation-within-capacity") as err:
+            sanitize.check_player_allocations(
+                np.array([[12.0, 3.0]]), np.array([10.0, 5.0])
+            )
+        assert err.value.invariant == "allocation-within-capacity"
+
+    def test_per_player_negative_allocation(self):
+        with trips("allocation-within-capacity"):
+            sanitize.check_player_allocations(
+                np.array([-0.5, 3.0]), np.array([10.0, 5.0])
+            )
+
+    def test_per_player_allocation_at_capacity_passes(self):
+        sanitize.check_player_allocations(
+            np.array([[10.0, 5.0], [0.0, 0.0]]), np.array([10.0, 5.0])
+        )
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_non_finite_marginal(self, bad):
+        with trips("marginal-finite") as err:
+            sanitize.check_marginals(np.array([[1.0, bad]]))
+        assert err.value.invariant == "marginal-finite"
+
+    def test_finite_marginals_pass(self):
+        sanitize.check_marginals(np.array([[0.0, 1e12], [3.5, 0.1]]))
+
     def test_converged_flag_with_moving_prices(self):
         history = [np.array([1.0, 1.0]), np.array([2.0, 1.0])]
         with trips("equilibrium-convergence-flag") as err:
@@ -216,6 +247,49 @@ class TestEndToEndInjections:
             result = RogueMechanism().allocate(problem)
         assert result.allocations.sum() > problem.capacities.sum()
 
+    class NaNGradient(UtilityFunction):
+        """Utility whose gradients are poisoned (both scalar and batch)."""
+
+        num_resources = 2
+
+        def value(self, allocation):
+            return 1.0
+
+        def gradient(self, allocation):
+            return np.array([np.nan, 1.0])
+
+        def gradient_batch(self, allocations):
+            points = np.asarray(allocations, dtype=float)
+            return np.tile([np.nan, 1.0], (points.shape[0], 1))
+
+    def test_nan_gradient_trips_scalar_marginal_seam(self):
+        utility = self.NaNGradient()
+        bids = np.array([10.0, 10.0])
+        others = np.array([5.0, 5.0])
+        capacities = np.array([10.0, 5.0])
+        with sanitize.enabled():
+            with trips("marginal-finite"):
+                marginal_utility_of_bids(utility, bids, others, capacities)
+        with sanitize.enabled(False):
+            out = marginal_utility_of_bids(utility, bids, others, capacities)
+        assert np.isnan(out[0])  # unchecked: the NaN flows through
+
+    def test_nan_gradient_trips_batched_marginal_seam(self):
+        utility = self.NaNGradient()
+        bids = np.array([[10.0, 10.0], [20.0, 5.0]])
+        others = np.array([[5.0, 5.0], [1.0, 9.0]])
+        capacities = np.array([10.0, 5.0])
+        with sanitize.enabled():
+            with trips("marginal-finite"):
+                marginal_utility_of_bids_batch(
+                    bids, others, capacities, utility=utility
+                )
+        with sanitize.enabled(False):
+            out = marginal_utility_of_bids_batch(
+                bids, others, capacities, utility=utility
+            )
+        assert np.isnan(out[:, 0]).all()
+
     def test_sub_floor_budget_trips_rebudget(self, small_market, monkeypatch):
         # Force a floor *above* the initial budget: every player starts
         # below it, which the real resolve() can never produce.
@@ -257,6 +331,8 @@ class TestDisabledFastPath:
             "check_prices",
             "check_spending",
             "check_allocation",
+            "check_player_allocations",
+            "check_marginals",
             "check_unit_interval",
             "check_budget_floor",
             "check_convergence",
